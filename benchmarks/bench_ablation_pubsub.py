@@ -1,0 +1,120 @@
+"""Ablation A3 — pub-sub scalability with fleet size and churn.
+
+The requirements call for a publish-subscribe layer because of "the
+dynamicity with which [sensors] can join and leave the network".  This
+ablation measures, as the fleet grows: advertisement fan-out cost,
+discovery query latency, and data-plane routing cost per reading; plus the
+cost of churn (join/leave cycles against standing subscriptions).
+
+Expected shape: advertisement count grows with (sensors x brokers);
+discovery stays linear in fleet size; per-reading routing cost is flat
+(route tables are precomputed per sensor); churn cost is dominated by
+route rebuilds, linear in standing subscriptions.
+"""
+
+import pytest
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.discovery import DiscoveryService
+from repro.pubsub.stamping import backfill_stamp
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.sensors.physical import temperature_sensor
+from repro.stt.spatial import Point
+
+FLEET_SIZES = [10, 50, 200]
+
+
+def make_fleet(count: int, topo: Topology):
+    nodes = topo.node_ids
+    return [
+        temperature_sensor(
+            f"temp-{index:04d}",
+            Point(34.5 + (index % 60) * 0.005, 135.3 + (index // 60) * 0.005),
+            nodes[index % len(nodes)],
+        )
+        for index in range(count)
+    ]
+
+
+@pytest.mark.benchmark(group="pubsub-publish")
+@pytest.mark.parametrize("count", FLEET_SIZES)
+def test_publish_fanout(benchmark, count):
+    def publish_all():
+        topo = Topology.star(leaf_count=4)
+        net = BrokerNetwork(netsim=NetworkSimulator(topology=topo))
+        for node_id in topo.node_ids:
+            net.broker(node_id)
+        for sensor in make_fleet(count, topo):
+            net.publish(sensor.metadata)
+        return net
+
+    net = benchmark(publish_all)
+    benchmark.extra_info.update({
+        "sensors": count,
+        "advertisements": net.advertisements_sent,
+    })
+    assert net.advertisements_sent == count * 4  # to every other broker
+
+
+@pytest.mark.benchmark(group="pubsub-discovery")
+@pytest.mark.parametrize("count", FLEET_SIZES)
+def test_discovery_latency(benchmark, count):
+    topo = Topology.star(leaf_count=4)
+    net = BrokerNetwork()
+    for sensor in make_fleet(count, topo):
+        net.publish(sensor.metadata)
+    discovery = DiscoveryService(net.registry)
+    from repro.stt.spatial import Box
+
+    area = Box(south=34.5, west=135.3, north=34.6, east=135.5)
+    results = benchmark(lambda: discovery.find(sensor_type="temperature",
+                                               area=area))
+    benchmark.extra_info["sensors"] = count
+    benchmark.extra_info["matches"] = len(results)
+    assert len(results) <= count
+
+
+@pytest.mark.benchmark(group="pubsub-routing")
+@pytest.mark.parametrize("count", FLEET_SIZES)
+def test_data_plane_routing(benchmark, count):
+    topo = Topology.star(leaf_count=4)
+    net = BrokerNetwork()  # in-process: isolates routing cost
+    fleet = make_fleet(count, topo)
+    for sensor in fleet:
+        net.publish(sensor.metadata)
+    received = []
+    net.subscribe("hub", SubscriptionFilter(sensor_type="temperature"),
+                  received.append)
+    metadata = fleet[0].metadata
+    reading = backfill_stamp({"temperature": 20.0, "station": "x"},
+                             metadata, now=0.0)
+
+    def route_thousand():
+        for _ in range(1000):
+            net.publish_data(metadata.sensor_id, reading)
+
+    benchmark(route_thousand)
+    benchmark.extra_info["sensors"] = count
+    assert received
+
+
+@pytest.mark.benchmark(group="pubsub-churn")
+@pytest.mark.parametrize("subscriptions", [1, 20, 100])
+def test_churn_cost(benchmark, subscriptions):
+    topo = Topology.star(leaf_count=4)
+    net = BrokerNetwork()
+    for sensor in make_fleet(50, topo):
+        net.publish(sensor.metadata)
+    for index in range(subscriptions):
+        net.subscribe("hub", SubscriptionFilter(sensor_type="temperature"),
+                      lambda t: None)
+    churner = temperature_sensor("churner", Point(34.7, 135.5), "hub")
+
+    def join_leave():
+        net.publish(churner.metadata)
+        net.unpublish("churner")
+
+    benchmark(join_leave)
+    benchmark.extra_info["standing_subscriptions"] = subscriptions

@@ -1,0 +1,77 @@
+"""Ablation A4 — end-to-end scaling with network size.
+
+The paper demos a handful of sensors on one testbed; a system claim like
+"executed at network level" should survive growth.  This ablation scales
+the star topology (and with it the round-robin sensor fleet) and runs the
+same six virtual hours of the scenario, reporting simulation throughput
+and per-layer volumes.
+
+Expected shape: tuple volumes grow linearly with fleet size; wall-clock
+cost grows near-linearly (the event heap is O(log n) per event); placement
+keeps operators near their sensors so per-link traffic grows sublinearly
+with total volume.
+"""
+
+import time
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.scenario import build_stack, osaka_scenario_flow
+
+HOURS = 6.0
+LEAVES = [2, 4, 8]
+
+
+def run_scale(leaf_count: int):
+    stack = build_stack(topology=Topology.star(leaf_count=leaf_count),
+                        replicas=max(1, leaf_count // 2))
+    flow = osaka_scenario_flow(stack)
+    deployment = stack.executor.deploy(flow)
+    start = time.perf_counter()
+    stack.run_until(HOURS * 3600.0)
+    wall = time.perf_counter() - start
+    return stack, deployment, wall
+
+
+@pytest.mark.benchmark(group="ablation-scale")
+@pytest.mark.parametrize("leaf_count", LEAVES)
+def test_scenario_scaling(benchmark, leaf_count):
+    stack, deployment, wall = benchmark.pedantic(
+        lambda: run_scale(leaf_count), rounds=1, iterations=1
+    )
+    emitted = sum(sensor.emitted for sensor in stack.fleet)
+    benchmark.extra_info.update({
+        "nodes": leaf_count + 1,
+        "sensors": len(stack.fleet),
+        "sensor_emissions": emitted,
+        "deliveries": stack.netsim.stats.messages_delivered,
+        "link_bytes": stack.netsim.total_link_bytes(),
+        "virtual_hours_per_wall_second": HOURS / wall if wall else None,
+    })
+    assert emitted > 0
+    assert stack.netsim.stats.messages_dropped == 0
+
+
+def test_scaling_rows(capsys):
+    rows = []
+    for leaf_count in LEAVES:
+        stack, deployment, wall = run_scale(leaf_count)
+        rows.append((
+            leaf_count + 1,
+            len(stack.fleet),
+            sum(sensor.emitted for sensor in stack.fleet),
+            stack.netsim.stats.messages_delivered,
+            int(stack.netsim.total_link_bytes()),
+            wall,
+        ))
+    with capsys.disabled():
+        print(f"\n== Ablation A4: scaling over {HOURS:.0f} virtual hours ==")
+        print(f"  {'nodes':>6s} {'sensors':>8s} {'emitted':>9s} "
+              f"{'delivered':>10s} {'link bytes':>11s} {'wall s':>7s}")
+        for nodes, sensors, emitted, delivered, link_bytes, wall in rows:
+            print(f"  {nodes:>6} {sensors:>8} {emitted:>9} "
+                  f"{delivered:>10} {link_bytes:>11} {wall:>7.2f}")
+    # Volumes scale with the fleet; the simulation keeps up.
+    assert rows[-1][2] > rows[0][2]
+    assert all(wall < 30.0 for *_rest, wall in rows)

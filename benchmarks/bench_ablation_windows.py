@@ -1,0 +1,136 @@
+"""Ablation A2 — blocking intervals t and culling rates r.
+
+Table 1 parameterises the blocking operators by a time interval t and the
+cull operators by a reducing rate r.  This ablation sweeps both:
+
+- aggregation interval t: output rate must be 1/t while input is fixed,
+  and the per-window cache grows with t (memory-latency trade-off);
+- trigger check interval t against a fixed 1-hour lookback: activation
+  lag shrinks as checks get denser;
+- cull rate r: surviving volume is 1/r of the in-region traffic.
+
+Expected shape: output counts scale as duration/t and volume/r exactly
+(deterministic operators), activation lag is bounded by the check
+interval.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import make_batch
+from repro.streams.aggregate import AggregationOperator
+from repro.streams.cull import CullTimeOperator
+from repro.streams.trigger import TriggerOnOperator
+
+DURATION = 4 * 3600.0
+#: One reading per virtual minute over the full duration.
+BATCH = [
+    tuple_.with_stamp(replace(tuple_.stamp, time=index * 60.0))
+    for index, tuple_ in enumerate(
+        make_batch(int(DURATION // 60), temperature_base=20.0)
+    )
+]
+
+
+def run_aggregation(interval: float) -> tuple:
+    op = AggregationOperator(interval=interval, attributes=["temperature"],
+                             function="AVG")
+    outputs = 0
+    peak_cache = 0
+    next_flush = interval
+    for tuple_ in BATCH:
+        while tuple_.stamp.time >= next_flush:
+            outputs += len(op.on_timer(next_flush))
+            next_flush += interval
+        op.on_tuple(tuple_)
+        peak_cache = max(peak_cache, len(op.cache))
+    outputs += len(op.on_timer(next_flush))
+    return outputs, peak_cache
+
+
+@pytest.mark.benchmark(group="ablation-interval")
+@pytest.mark.parametrize("interval", [300.0, 900.0, 3600.0])
+def test_aggregation_interval_sweep(benchmark, interval):
+    outputs, peak_cache = benchmark(lambda: run_aggregation(interval))
+    benchmark.extra_info.update({
+        "interval_s": interval,
+        "windows_emitted": outputs,
+        "peak_cache_tuples": peak_cache,
+    })
+    expected_windows = DURATION / interval
+    assert abs(outputs - expected_windows) <= 1
+    assert peak_cache <= interval / 60 + 1  # one tuple per minute
+
+
+def trigger_lag(check_interval: float) -> float:
+    """Virtual time between the condition becoming true and activation."""
+    op = TriggerOnOperator(interval=check_interval, window=3600.0,
+                           condition="avg_temperature > 25",
+                           targets=("rain-1",))
+    fired_at = {}
+    op.control = lambda command: fired_at.setdefault("t", command.issued_at)
+    # One hour cool, then an abrupt step to hot at t=3600.
+    step_time = 3600.0
+    now = 0.0
+    next_check = check_interval
+    while now < 4 * 3600.0 and "t" not in fired_at:
+        while next_check <= now:
+            op.on_timer(next_check)
+            next_check += check_interval
+        temperature = 20.0 if now < step_time else 30.0
+        tuple_ = make_batch(1, start_time=now,
+                            temperature_base=temperature)[0]
+        op.on_tuple(tuple_)
+        now += 60.0
+    while "t" not in fired_at and next_check < 4 * 3600.0:
+        op.on_timer(next_check)
+        next_check += check_interval
+    return fired_at["t"] - step_time
+
+
+@pytest.mark.benchmark(group="ablation-trigger-interval")
+@pytest.mark.parametrize("check_interval", [60.0, 300.0, 1800.0])
+def test_trigger_activation_lag(benchmark, check_interval):
+    lag = benchmark(lambda: trigger_lag(check_interval))
+    benchmark.extra_info.update({
+        "check_interval_s": check_interval,
+        "activation_lag_s": lag,
+    })
+    # Lag is the time for the 1-h window mean to cross the threshold plus
+    # at most one check interval of quantisation.
+    assert lag <= 3600.0 + check_interval
+
+
+@pytest.mark.benchmark(group="ablation-cull")
+@pytest.mark.parametrize("rate", [1, 2, 5, 20])
+def test_cull_rate_sweep(benchmark, rate):
+    def run():
+        op = CullTimeOperator(rate=rate, start=0.0, end=1e12)
+        return sum(len(op.on_tuple(t)) for t in BATCH)
+
+    survivors = benchmark(run)
+    benchmark.extra_info.update({
+        "rate": rate,
+        "survivors": survivors,
+        "reduction": 1.0 - survivors / len(BATCH),
+    })
+    assert survivors == len(BATCH) // rate
+
+
+def test_windows_ablation_rows(capsys):
+    with capsys.disabled():
+        print("\n== Ablation A2: interval and rate sweeps ==")
+        print("  aggregation: interval -> windows, peak cache")
+        for interval in (300.0, 900.0, 3600.0):
+            outputs, cache = run_aggregation(interval)
+            print(f"    t={interval:6.0f}s  windows={outputs:4d}  "
+                  f"peak-cache={cache:4d}")
+        print("  trigger: check interval -> activation lag after heat step")
+        for check in (60.0, 300.0, 1800.0):
+            print(f"    t={check:6.0f}s  lag={trigger_lag(check):7.0f}s")
+        print("  cull: rate -> surviving fraction")
+        for rate in (1, 2, 5, 20):
+            op = CullTimeOperator(rate=rate, start=0.0, end=1e12)
+            kept = sum(len(op.on_tuple(t)) for t in BATCH)
+            print(f"    r={rate:3d}  kept {kept / len(BATCH):.1%}")

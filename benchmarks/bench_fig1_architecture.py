@@ -1,0 +1,89 @@
+"""Experiment F1 — Figure 1: the full architecture, end to end.
+
+Runs one virtual day of the Section 3 scenario through every layer of
+Figure 1 — sensors -> distributed pub-sub -> conceptual dataflow ->
+translator -> SCN placement -> operator processes on network nodes ->
+monitor -> warehouse/Sticker sinks — and reports the tuple accounting at
+each stage plus the wall-clock cost of the whole simulation.
+
+Expected shape: tuple counts shrink monotonically through the gating and
+filtering stages (raw sensor emissions > delivered tuples > filtered
+tuples > warehoused facts), and every layer's counters are consistent
+with its neighbours'.
+"""
+
+import pytest
+
+from repro.scenario import build_stack, osaka_scenario_flow
+
+VIRTUAL_HOURS = 18.0
+
+
+def run_architecture(hot: bool = True, seed: int = 7):
+    stack = build_stack(hot=hot, seed=seed)
+    flow = osaka_scenario_flow(stack)
+    deployment = stack.executor.deploy(flow)
+    stack.run_until(VIRTUAL_HOURS * 3600.0)
+    return stack, deployment
+
+
+@pytest.mark.benchmark(group="fig1-architecture")
+def test_end_to_end_day(benchmark):
+    stack, deployment = benchmark.pedantic(
+        run_architecture, rounds=1, iterations=1
+    )
+
+    emitted = sum(sensor.emitted for sensor in stack.fleet)
+    delivered = stack.netsim.stats.messages_delivered
+    suppressed = stack.broker_network.data_messages_suppressed
+    torrential_in = deployment.process("torrential").operator.stats.tuples_in
+    torrential_out = deployment.process("torrential").operator.stats.tuples_out
+    warehoused = len(stack.warehouse)
+
+    benchmark.extra_info.update({
+        "virtual_hours": VIRTUAL_HOURS,
+        "sensor_emissions": emitted,
+        "network_deliveries": delivered,
+        "suppressed_at_source": suppressed,
+        "torrential_in": torrential_in,
+        "torrential_out": torrential_out,
+        "warehoused_facts": warehoused,
+        "sticker_tuples": stack.sticker.pushed,
+        "link_bytes": stack.netsim.total_link_bytes(),
+        "mean_delivery_delay_s": stack.netsim.stats.mean_delay,
+    })
+
+    # The funnel narrows at every stage.
+    assert emitted > 0
+    assert suppressed > 0                      # trigger gating saved traffic
+    assert torrential_in <= delivered
+    assert torrential_out <= torrential_in
+    assert warehoused == torrential_out        # the sink got every survivor
+    assert stack.sticker.pushed > 0
+
+
+def test_stage_accounting_rows(capsys):
+    stack, deployment = run_architecture()
+    rows = [
+        ("sensor emissions", sum(s.emitted for s in stack.fleet)),
+        ("pub-sub deliveries initiated", stack.broker_network.data_messages_sent),
+        ("suppressed at source (gating)",
+         stack.broker_network.data_messages_suppressed),
+        ("network messages delivered", stack.netsim.stats.messages_delivered),
+        ("trigger tuples observed",
+         deployment.process("hot-hour-trigger").operator.stats.tuples_in),
+        ("torrential filter in",
+         deployment.process("torrential").operator.stats.tuples_in),
+        ("torrential filter out",
+         deployment.process("torrential").operator.stats.tuples_out),
+        ("warehouse facts", len(stack.warehouse)),
+        ("sticker tuples", stack.sticker.pushed),
+        ("traffic collected",
+         len(deployment.collected("traffic-collector"))),
+    ]
+    with capsys.disabled():
+        print("\n== Figure 1: tuple accounting through the architecture ==")
+        for label, value in rows:
+            print(f"  {label:34s} {value:>10}")
+    counts = dict(rows)
+    assert counts["torrential filter out"] == counts["warehouse facts"]

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one artifact of the paper (Table 1,
+Figures 1-3, the Section 3 scenario, the P2/P3 walkthrough steps) or an
+ablation.  Measured series are attached to ``benchmark.extra_info`` so
+they land in pytest-benchmark's JSON output, and printed as rows for eyes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+
+def make_batch(count: int, start_time: float = 0.0,
+               temperature_base: float = 20.0) -> list[SensorTuple]:
+    """A deterministic batch of weather tuples for operator benchmarks."""
+    return [
+        SensorTuple(
+            payload={
+                "temperature": temperature_base + (i % 17) * 0.7,
+                "humidity": 0.4 + (i % 11) * 0.05,
+                "station": f"station-{i % 5}",
+            },
+            stamp=SttStamp(
+                time=start_time + i,
+                location=Point(34.5 + (i % 40) * 0.01, 135.3 + (i % 40) * 0.01),
+                themes=("weather/temperature",),
+            ),
+            source=f"sensor-{i % 5}",
+            seq=i,
+        )
+        for i in range(count)
+    ]
+
+
+def print_rows(title: str, rows: list[tuple]) -> None:
+    """Emit a small table to stdout (shown with pytest -s)."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  " + "  ".join(str(cell) for cell in row))
+
+
+@pytest.fixture
+def operator_batch():
+    return make_batch(2000)

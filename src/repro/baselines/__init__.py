@@ -1,0 +1,18 @@
+"""Comparison baselines.
+
+The paper positions StreamLoader against offline ETL tools ("traditionally
+developed to operate offline on historical data") and against shipping all
+raw data to a central site before processing.  Two executable baselines
+make those comparisons measurable:
+
+- :class:`repro.baselines.batch_etl.BatchEtlPipeline` — collect raw tuples
+  centrally for a full period, then transform and load in one batch;
+- :func:`repro.baselines.centralized.centralized_scn` — the same streaming
+  runtime but with every operator pinned to one central node (no
+  in-network placement).
+"""
+
+from repro.baselines.batch_etl import BatchEtlPipeline, BatchEtlReport
+from repro.baselines.centralized import CentralizedScnController
+
+__all__ = ["BatchEtlPipeline", "BatchEtlReport", "CentralizedScnController"]

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``scenario``   — run the paper's Section 3 scenario and print the
+  monitoring dashboard, trigger log, and warehouse roll-up;
+- ``operators``  — list the Table 1 operator palette;
+- ``validate``   — consistency-check a saved canvas document (JSON)
+  against the Osaka fleet's registry;
+- ``translate``  — print the DSN program of a saved canvas document;
+- ``sensors``    — list the (simulated) sensor fleet with advertisements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.dataflow.serialize import dataflow_from_dict
+from repro.dataflow.validate import validate_dataflow
+from repro.designer.palette import OPERATOR_PALETTE
+from repro.dsn.generate import dataflow_to_dsn
+from repro.errors import StreamLoaderError
+from repro.scenario import build_stack, osaka_scenario_flow
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    stack = build_stack(hot=not args.cool, extended=args.extended,
+                        seed=args.seed)
+    flow = osaka_scenario_flow(stack)
+    deployment = stack.executor.deploy(flow)
+    stack.run_until(args.hours * 3600.0)
+
+    print(stack.executor.monitor.render_dashboard())
+    print()
+    if stack.executor.monitor.control_log:
+        for command in stack.executor.monitor.control_log:
+            verb = "activated" if command.activate else "deactivated"
+            print(f"t={command.issued_at / 3600.0:05.1f}h {verb} "
+                  f"{len(command.sensor_ids)} sensor stream(s)")
+    else:
+        print("trigger never fired (no gated acquisition)")
+    print()
+    print(f"warehouse: {len(stack.warehouse)} events | "
+          f"sticker: {stack.sticker.pushed} tuples | "
+          f"traffic collected: "
+          f"{len(deployment.collected('traffic-collector'))}")
+    return 0
+
+
+def _cmd_operators(_args: argparse.Namespace) -> int:
+    print(f"{'operation':18s} {'category':10s} parameters")
+    for entry in OPERATOR_PALETTE:
+        params = ", ".join(entry.parameters)
+        print(f"{entry.name:18s} {entry.category:10s} {params}")
+        print(f"{'':18s} {'':10s} {entry.description}")
+    return 0
+
+
+def _load_canvas(path: str):
+    with open(path) as handle:
+        return dataflow_from_dict(json.load(handle))
+
+
+def _registry(args: argparse.Namespace):
+    stack = build_stack(hot=True, extended=args.extended, attach_fleet=False)
+    for sensor in stack.fleet:
+        stack.broker_network.publish(sensor.metadata)
+    return stack.broker_network.registry
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    flow = _load_canvas(args.canvas)
+    report = validate_dataflow(flow, _registry(args))
+    for issue in report.issues:
+        print(issue)
+    if report.is_valid:
+        print(f"OK: {flow.name!r} is consistent "
+              f"({len(flow.node_ids)} nodes, {len(flow.data_edges)} edges)")
+        return 0
+    print(f"INVALID: {len(report.errors)} error(s)")
+    return 1
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    flow = _load_canvas(args.canvas)
+    program = dataflow_to_dsn(flow, _registry(args))
+    print(program.render(), end="")
+    return 0
+
+
+def _cmd_sensors(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    print(f"{'sensor id':26s} {'type':16s} {'Hz':>8s} {'node':10s} themes")
+    for metadata in sorted(registry.all(), key=lambda m: m.sensor_id):
+        themes = ",".join(str(theme) for theme in metadata.themes)
+        print(f"{metadata.sensor_id:26s} {metadata.sensor_type:16s} "
+              f"{metadata.frequency:8.4f} {metadata.node_id:10s} {themes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="StreamLoader (EDBT 2016) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run the Section 3 scenario")
+    scenario.add_argument("--hours", type=float, default=18.0,
+                          help="virtual hours to simulate (default 18)")
+    scenario.add_argument("--cool", action="store_true",
+                          help="cool regime: the trigger must stay silent")
+    scenario.add_argument("--extended", action="store_true",
+                          help="attach the full sensor roster")
+    scenario.add_argument("--seed", type=int, default=7)
+    scenario.set_defaults(func=_cmd_scenario)
+
+    operators = sub.add_parser("operators", help="list the Table 1 palette")
+    operators.set_defaults(func=_cmd_operators)
+
+    validate = sub.add_parser("validate",
+                              help="consistency-check a canvas JSON document")
+    validate.add_argument("canvas", help="path to a saved canvas document")
+    validate.add_argument("--extended", action="store_true")
+    validate.set_defaults(func=_cmd_validate)
+
+    translate = sub.add_parser("translate",
+                               help="print the DSN program of a canvas")
+    translate.add_argument("canvas", help="path to a saved canvas document")
+    translate.add_argument("--extended", action="store_true")
+    translate.set_defaults(func=_cmd_translate)
+
+    sensors = sub.add_parser("sensors", help="list the simulated fleet")
+    sensors.add_argument("--extended", action="store_true")
+    sensors.set_defaults(func=_cmd_sensors)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StreamLoaderError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

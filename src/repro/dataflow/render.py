@@ -1,0 +1,102 @@
+"""Canvas renderings: Graphviz DOT and ASCII (the Figure 2 stand-ins).
+
+The paper's canvas is a Cytoscape graph; these renderers produce the same
+picture as data — DOT for real tooling, ASCII for terminals and tests.
+Data edges are solid, trigger control edges dashed; nodes carry their
+operator descriptions so the rendering *is* the dataflow, not a sketch.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import Dataflow
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(flow: Dataflow) -> str:
+    """Graphviz DOT of the canvas.
+
+    Sources are houses, operators boxes, sinks cylinders; control edges
+    are dashed red.
+    """
+    lines = [f'digraph "{_dot_escape(flow.name)}" {{', "  rankdir=LR;"]
+    for node_id, source in flow.sources.items():
+        state = "" if source.initially_active else "\\n(dormant)"
+        label = _dot_escape(f"{node_id}{state}")
+        lines.append(
+            f'  "{_dot_escape(node_id)}" [shape=house, label="{label}"];'
+        )
+    for node_id, node in flow.operators.items():
+        label = _dot_escape(f"{node_id}\\n{node.spec.kind}")
+        lines.append(
+            f'  "{_dot_escape(node_id)}" [shape=box, label="{label}"];'
+        )
+    for node_id, sink in flow.sinks.items():
+        label = _dot_escape(f"{node_id}\\n[{sink.sink_kind}]")
+        lines.append(
+            f'  "{_dot_escape(node_id)}" [shape=cylinder, label="{label}"];'
+        )
+    for edge in flow.data_edges:
+        port = f' [label="port {edge.port}"]' if edge.port else ""
+        lines.append(
+            f'  "{_dot_escape(edge.source_id)}" -> '
+            f'"{_dot_escape(edge.target_id)}"{port};'
+        )
+    for edge in flow.control_edges:
+        lines.append(
+            f'  "{_dot_escape(edge.trigger_id)}" -> '
+            f'"{_dot_escape(edge.source_id)}" '
+            f"[style=dashed, color=red, label=\"control\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_ascii(flow: Dataflow) -> str:
+    """A terminal rendering: nodes in topological layers, edge list below.
+
+    >>> print(render_ascii(flow))          # doctest: +SKIP
+    """
+    try:
+        order = flow.topological_order()
+    except Exception:
+        order = flow.node_ids
+
+    # Assign layers: sources at 0, each node one past its deepest input.
+    layers: dict[str, int] = {}
+    for node_id in order:
+        inputs = flow.inputs_of(node_id)
+        if not inputs:
+            layers[node_id] = 0
+        else:
+            layers[node_id] = 1 + max(
+                layers.get(edge.source_id, 0) for edge in inputs
+            )
+    by_layer: dict[int, list[str]] = {}
+    for node_id, layer in layers.items():
+        by_layer.setdefault(layer, []).append(node_id)
+
+    def decorate(node_id: str) -> str:
+        if node_id in flow.sources:
+            marker = "(src)" if flow.sources[node_id].initially_active else "(src, dormant)"
+            return f"{node_id} {marker}"
+        if node_id in flow.operators:
+            return f"{node_id} [{flow.operators[node_id].spec.kind}]"
+        return f"{node_id} <{flow.sinks[node_id].sink_kind}>"
+
+    lines = [f"dataflow {flow.name!r}"]
+    for layer in sorted(by_layer):
+        entries = "   ".join(decorate(n) for n in sorted(by_layer[layer]))
+        lines.append(f"  layer {layer}: {entries}")
+    if flow.data_edges:
+        lines.append("  data edges:")
+        for edge in flow.data_edges:
+            port = f" (port {edge.port})" if edge.port else ""
+            lines.append(f"    {edge.source_id} --> {edge.target_id}{port}")
+    if flow.control_edges:
+        lines.append("  control edges:")
+        for edge in flow.control_edges:
+            lines.append(f"    {edge.trigger_id} ~~> {edge.source_id}")
+    return "\n".join(lines)

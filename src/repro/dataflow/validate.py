@@ -1,0 +1,254 @@
+"""Dataflow consistency checks.
+
+"The user interface provides different checks in order to draw only
+dataflows that can be soundly translated in the DSN/SCN specification."
+
+The validator runs every check and returns a :class:`ValidationReport`
+whose issues carry the offending node id, so a front end can annotate the
+canvas.  A dataflow with zero *errors* is deployable; *warnings* flag
+designs that are legal but suspicious (e.g. a filter-everything condition
+or an unconnected trigger).
+
+Checks implemented:
+
+C1  structure: data edges form a DAG;
+C2  ports: every operator input port is connected exactly once;
+C3  roles: sources feed something; sinks are fed; no dangling operators;
+C4  schemas: schema propagation succeeds at every node (types, attribute
+    existence, aggregation functions, join collisions, ...);
+C5  conditions: every condition/predicate/spec type-checks to boolean
+    (or to a value, for virtual properties) against its input schema;
+C6  triggers: control edges exist, point at in-canvas sources, and the
+    trigger's named targets match those sources' filters;
+C7  sensors: when a registry is supplied, every source filter matches at
+    least one published sensor;
+C8  sinks: warehouse sinks receive a schema the loader can index (an STT
+    stamp always exists, so this checks the payload is non-empty);
+C9  thematics: joining streams whose theme sets are disjoint draws a
+    warning — composition across unrelated thematics is legal but is
+    usually a mis-drawn edge (the STT model uses thematics precisely to
+    identify which streams belong together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import DataflowError, ExpressionError, SchemaError
+from repro.dataflow.graph import Dataflow, SinkKind
+from repro.pubsub.registry import SensorRegistry
+from repro.schema.schema import StreamSchema
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding, anchored to a canvas element."""
+
+    level: str
+    node_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.level}] {self.node_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validation: issues plus the propagated schemas."""
+
+    issues: list[ValidationIssue]
+    schemas: dict[str, "StreamSchema | None"]
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.level == ERROR]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.level == WARNING]
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the dataflow can be soundly translated to DSN/SCN."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        from repro.errors import ValidationError
+
+        if not self.is_valid:
+            raise ValidationError(self.errors)
+
+
+def validate_dataflow(
+    flow: Dataflow, registry: "SensorRegistry | None" = None
+) -> ValidationReport:
+    """Run every consistency check; never raises on invalid designs."""
+    issues: list[ValidationIssue] = []
+    schemas: dict[str, StreamSchema | None] = {}
+
+    def error(node_id: str, message: str) -> None:
+        issues.append(ValidationIssue(ERROR, node_id, message))
+
+    def warning(node_id: str, message: str) -> None:
+        issues.append(ValidationIssue(WARNING, node_id, message))
+
+    # C1: acyclicity.
+    graph = flow.data_graph()
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        path = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        error(cycle[0][0], f"data edges form a cycle: {path}")
+        return ValidationReport(issues=issues, schemas=schemas)
+
+    if not flow.sources:
+        error(flow.name, "dataflow has no sources")
+    if not flow.sinks and not any(
+        node.spec.kind.startswith("trigger") for node in flow.operators.values()
+    ):
+        warning(flow.name, "dataflow has no sinks; results go nowhere")
+
+    # C2/C3: ports and roles.
+    for node_id, node in flow.operators.items():
+        incoming = flow.inputs_of(node_id)
+        ports = [edge.port for edge in incoming]
+        for port in range(node.spec.input_count):
+            count = ports.count(port)
+            if count == 0:
+                error(node_id, f"input port {port} is not connected")
+            elif count > 1:
+                error(node_id, f"input port {port} has {count} incoming edges")
+        if node.spec.has_output and not flow.outputs_of(node_id):
+            error(node_id, "operator output is not connected to anything")
+        if not node.spec.has_output and flow.outputs_of(node_id):
+            error(node_id, "control-only operator has data outputs")
+    for node_id in flow.sources:
+        if not flow.outputs_of(node_id) and not _is_trigger_target(flow, node_id):
+            warning(node_id, "source is not consumed by any operator or sink")
+    for node_id in flow.sinks:
+        if not flow.inputs_of(node_id):
+            error(node_id, "sink has no incoming stream")
+        extra = [edge for edge in flow.inputs_of(node_id) if edge.port != 0]
+        if extra:
+            error(node_id, "sinks accept a single stream on port 0")
+
+    # C7: source filters against the registry.
+    for node_id, source in flow.sources.items():
+        if source.schema is None and registry is None:
+            error(
+                node_id,
+                "source has no schema and no registry was supplied to "
+                "resolve its filter",
+            )
+        if registry is not None:
+            matches = [
+                metadata
+                for metadata in registry.all()
+                if source.filter.matches(metadata)
+            ]
+            if not matches:
+                error(node_id, "source filter matches no published sensor")
+            else:
+                advertised = matches[0].schema
+                mismatched = [
+                    m.sensor_id
+                    for m in matches[1:]
+                    if m.schema.names != advertised.names
+                ]
+                if mismatched:
+                    error(
+                        node_id,
+                        f"source filter matches sensors with incompatible "
+                        f"schemas: {matches[0].sensor_id} vs {mismatched}",
+                    )
+                if source.schema is None:
+                    source.schema = advertised
+
+    # C4/C5: schema propagation in topological order.
+    order = list(nx.topological_sort(graph))
+    for node_id in order:
+        if node_id in flow.sources:
+            schemas[node_id] = flow.sources[node_id].schema
+            continue
+        upstream = flow.inputs_of(node_id)
+        input_schemas: list[StreamSchema] = []
+        missing = False
+        for edge in upstream:
+            schema = schemas.get(edge.source_id)
+            if schema is None:
+                missing = True
+                break
+            input_schemas.append(schema)
+        if node_id in flow.operators:
+            node = flow.operators[node_id]
+            if missing or len(input_schemas) != node.spec.input_count:
+                schemas[node_id] = None
+                continue
+            try:
+                schemas[node_id] = node.spec.infer_schema(input_schemas)
+            except (SchemaError, DataflowError, ExpressionError) as exc:
+                error(node_id, f"{node.spec.kind}: {exc}")
+                schemas[node_id] = None
+                continue
+            # C9: thematic compatibility of joined streams.
+            if node.spec.kind == "join" and len(input_schemas) == 2:
+                left, right = input_schemas
+                if left.themes and right.themes and not any(
+                    a.matches(b) for a in left.themes for b in right.themes
+                ):
+                    warning(
+                        node_id,
+                        f"joining thematically unrelated streams "
+                        f"({', '.join(map(str, left.themes))} vs "
+                        f"{', '.join(map(str, right.themes))})",
+                    )
+        elif node_id in flow.sinks:
+            schemas[node_id] = input_schemas[0] if input_schemas and not missing else None
+
+    # C6: trigger control edges.
+    for node_id, node in flow.operators.items():
+        if node.spec.kind not in ("trigger-on", "trigger-off"):
+            continue
+        controlled = flow.controlled_sources(node_id)
+        if not controlled:
+            error(node_id, "trigger has no control edges to sources")
+            continue
+        declared = set(node.spec.targets)
+        for source_id in controlled:
+            source = flow.sources[source_id]
+            ids = set(source.filter.sensor_ids)
+            if ids and not (ids & declared):
+                match = any(
+                    registry is not None
+                    and target in registry
+                    and source.filter.matches(registry.get(target))
+                    for target in declared
+                )
+                if not match:
+                    warning(
+                        source_id,
+                        f"controlled source's filter does not overlap the "
+                        f"trigger's declared targets {sorted(declared)}",
+                    )
+            if source.initially_active and node.spec.kind == "trigger-on":
+                warning(
+                    source_id,
+                    "trigger-on controls a source that is initially active; "
+                    "the trigger will have nothing to activate",
+                )
+
+    # C8: warehouse sinks need a non-empty payload schema.
+    for node_id, sink in flow.sinks.items():
+        schema = schemas.get(node_id)
+        if sink.sink_kind == SinkKind.WAREHOUSE and schema is not None and len(schema) == 0:
+            error(node_id, "warehouse sink receives an empty payload schema")
+
+    return ValidationReport(issues=issues, schemas=schemas)
+
+
+def _is_trigger_target(flow: Dataflow, source_id: str) -> bool:
+    return any(edge.source_id == source_id for edge in flow.control_edges)

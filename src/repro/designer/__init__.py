@@ -1,0 +1,22 @@
+"""Headless designer — the Web application's interaction layer (Figure 2).
+
+The paper's GUI (AngularJS + Cytoscape + SparkJava) is presentation over
+exactly these interactions: browse the palette of discovered sensors,
+drag sources and operators onto a canvas, connect them, inspect the schema
+pane of any node, preview samples step by step, validate, deploy, and
+watch the live annotations.  :class:`repro.designer.session.DesignerSession`
+exposes each of those as a method, so every behaviour the demo shows is
+scriptable and testable without a browser.
+"""
+
+from repro.designer.palette import Palette, PaletteEntry, OPERATOR_PALETTE
+from repro.designer.session import DesignerSession
+from repro.designer.deploy import DeploymentHandle
+
+__all__ = [
+    "Palette",
+    "PaletteEntry",
+    "OPERATOR_PALETTE",
+    "DesignerSession",
+    "DeploymentHandle",
+]

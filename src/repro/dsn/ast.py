@@ -1,0 +1,160 @@
+"""DSN program model and textual rendering.
+
+A DSN program declares *services* (sources, operators, sinks), *channels*
+(typed message exchanges between services) and *controls* (trigger
+activation edges), each with JSON-valued parameters::
+
+    dsn "osaka-scenario" {
+      service source "temp" {
+        param filter = {"sensor_ids": ["osaka-temp-umeda"]};
+        param active = true;
+      }
+      service operator "trig" kind "trigger-on" {
+        param interval = 300.0;
+        param condition = "avg_temperature > 25";
+      }
+      service sink "dw" kind "warehouse" {
+        qos class "best-effort" segment 65536;
+      }
+      channel "temp" -> "trig" port 0;
+      control "trig" -> "rain";
+    }
+
+Parameter values are JSON documents, which keeps the grammar small while
+allowing arbitrarily structured operator parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import DsnError
+from repro.network.qos import QosPolicy
+
+
+class ServiceRole(Enum):
+    SOURCE = "source"
+    OPERATOR = "operator"
+    SINK = "sink"
+
+    @classmethod
+    def parse(cls, name: str) -> "ServiceRole":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise DsnError(f"unknown service role {name!r}")
+
+
+@dataclass(frozen=True)
+class DsnService:
+    """One declared service."""
+
+    role: ServiceRole
+    name: str
+    kind: str = ""
+    params: "dict[str, object]" = field(default_factory=dict)
+    qos: "QosPolicy | None" = None
+
+    def render(self) -> str:
+        head = f'  service {self.role.value} "{self.name}"'
+        if self.kind:
+            head += f' kind "{self.kind}"'
+        lines = [head + " {"]
+        for key in sorted(self.params):
+            value = json.dumps(self.params[key], sort_keys=True)
+            lines.append(f"    param {key} = {value};")
+        if self.qos is not None:
+            qos_line = (
+                f'    qos class "{self.qos.qos_class.value}" '
+                f"segment {self.qos.segment_bytes}"
+            )
+            if self.qos.priority:
+                qos_line += f" priority {self.qos.priority}"
+            if self.qos.max_latency != float("inf"):
+                qos_line += f" max_latency {self.qos.max_latency}"
+            lines.append(qos_line + ";")
+        lines.append("  }")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DsnChannel:
+    """A data channel between two services (into an input port)."""
+
+    source: str
+    target: str
+    port: int = 0
+
+    def render(self) -> str:
+        return f'  channel "{self.source}" -> "{self.target}" port {self.port};'
+
+
+@dataclass(frozen=True)
+class DsnControl:
+    """A control edge: a trigger service governing a source service."""
+
+    trigger: str
+    source: str
+
+    def render(self) -> str:
+        return f'  control "{self.trigger}" -> "{self.source}";'
+
+
+@dataclass
+class DsnProgram:
+    """A complete DSN description of one dataflow deployment."""
+
+    name: str
+    services: list[DsnService] = field(default_factory=list)
+    channels: list[DsnChannel] = field(default_factory=list)
+    controls: list[DsnControl] = field(default_factory=list)
+
+    def service(self, name: str) -> DsnService:
+        for service in self.services:
+            if service.name == name:
+                return service
+        raise DsnError(f"no service {name!r} in program {self.name!r}")
+
+    def services_by_role(self, role: ServiceRole) -> list[DsnService]:
+        return [service for service in self.services if service.role is role]
+
+    def channels_into(self, name: str) -> list[DsnChannel]:
+        return sorted(
+            (channel for channel in self.channels if channel.target == name),
+            key=lambda channel: channel.port,
+        )
+
+    def channels_out_of(self, name: str) -> list[DsnChannel]:
+        return [channel for channel in self.channels if channel.source == name]
+
+    def check(self) -> None:
+        """Structural sanity: channel/control endpoints must be declared."""
+        names = {service.name for service in self.services}
+        if len(names) != len(self.services):
+            raise DsnError(f"program {self.name!r} declares duplicate services")
+        for channel in self.channels:
+            for endpoint in (channel.source, channel.target):
+                if endpoint not in names:
+                    raise DsnError(
+                        f"channel references undeclared service {endpoint!r}"
+                    )
+        for control in self.controls:
+            for endpoint in (control.trigger, control.source):
+                if endpoint not in names:
+                    raise DsnError(
+                        f"control references undeclared service {endpoint!r}"
+                    )
+
+    def render(self) -> str:
+        """The canonical textual form (stable: services/edges in order)."""
+        lines = [f'dsn "{self.name}" {{']
+        for service in self.services:
+            lines.append(service.render())
+        for channel in self.channels:
+            lines.append(channel.render())
+        for control in self.controls:
+            lines.append(control.render())
+        lines.append("}")
+        return "\n".join(lines) + "\n"

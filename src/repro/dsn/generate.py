@@ -1,0 +1,120 @@
+"""Translator: validated conceptual dataflow -> DSN program.
+
+"Once the dataflow is consistent (i.e. it can be soundly activated at
+network level), the translation is automatically invoked."  The translator
+therefore *refuses* inconsistent dataflows: it validates first and raises
+:class:`repro.errors.ValidationError` with the canvas issues.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.serialize import _filter_to_dict
+from repro.dataflow.validate import validate_dataflow
+from repro.dsn.ast import DsnChannel, DsnControl, DsnProgram, DsnService, ServiceRole
+from repro.pubsub.registry import SensorRegistry
+
+
+def dataflow_to_dsn(
+    flow: Dataflow,
+    registry: "SensorRegistry | None" = None,
+    validate: bool = True,
+) -> DsnProgram:
+    """Translate a (consistent) dataflow into its DSN program.
+
+    Args:
+        flow: the conceptual dataflow.
+        registry: resolves source filters during validation.
+        validate: skip validation only for flows validated immediately
+            before (the designer's deploy path validates once).
+    """
+    if validate:
+        validate_dataflow(flow, registry).raise_if_invalid()
+
+    program = DsnProgram(name=flow.name)
+
+    for source in flow.sources.values():
+        program.services.append(
+            DsnService(
+                role=ServiceRole.SOURCE,
+                name=source.node_id,
+                kind="sensor-stream",
+                params={
+                    "filter": _filter_to_dict(source.filter),
+                    "active": source.initially_active,
+                },
+            )
+        )
+    for node in flow.operators.values():
+        spec_dict = node.spec.to_dict()
+        kind = spec_dict.pop("kind")
+        program.services.append(
+            DsnService(
+                role=ServiceRole.OPERATOR,
+                name=node.node_id,
+                kind=kind,
+                params=spec_dict,
+            )
+        )
+    for sink in flow.sinks.values():
+        program.services.append(
+            DsnService(
+                role=ServiceRole.SINK,
+                name=sink.node_id,
+                kind=sink.sink_kind,
+                params={"config": dict(sink.config)},
+                qos=sink.qos,
+            )
+        )
+
+    for edge in flow.data_edges:
+        program.channels.append(
+            DsnChannel(source=edge.source_id, target=edge.target_id, port=edge.port)
+        )
+    for edge in flow.control_edges:
+        program.controls.append(
+            DsnControl(trigger=edge.trigger_id, source=edge.source_id)
+        )
+
+    program.check()
+    return program
+
+
+def dsn_to_dataflow(program: DsnProgram) -> Dataflow:
+    """Inverse translation: DSN program -> conceptual dataflow.
+
+    Lets the designer re-open a deployed flow on the canvas from nothing
+    but its DSN text (the deployment artifact): ``dsn_to_dataflow`` ∘
+    ``dataflow_to_dsn`` reconstructs a structurally identical canvas
+    (source schemas are re-resolved from the registry at validation, as
+    with document loading).
+    """
+    from repro.dataflow.ops import spec_from_dict
+    from repro.dataflow.serialize import _filter_from_dict
+
+    program.check()
+    flow = Dataflow(program.name)
+    for service in program.services:
+        if service.role is ServiceRole.SOURCE:
+            flow.add_source(
+                _filter_from_dict(service.params.get("filter", {})),
+                node_id=service.name,
+                initially_active=bool(service.params.get("active", True)),
+            )
+        elif service.role is ServiceRole.OPERATOR:
+            spec = spec_from_dict({"kind": service.kind, **service.params})
+            flow.add_operator(spec, node_id=service.name)
+        else:
+            from repro.network.qos import QosPolicy
+
+            flow.add_sink(
+                sink_kind=service.kind or "collector",
+                config=dict(service.params.get("config", {})),
+                qos=service.qos or QosPolicy(),
+                node_id=service.name,
+            )
+    for channel in program.channels:
+        flow.connect(channel.source, channel.target, channel.port)
+    for control in program.controls:
+        flow.connect_control(control.trigger, control.source)
+    return flow

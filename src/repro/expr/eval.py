@@ -1,0 +1,217 @@
+"""Evaluation of condition-language expressions against stream tuples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    EvaluationError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+from repro.expr.ast import (
+    AttributeRef,
+    BinaryOp,
+    Call,
+    Literal,
+    Node,
+    SchemaScope,
+    UnaryOp,
+)
+from repro.expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from repro.expr.parser import parse
+from repro.schema.schema import StreamSchema
+from repro.schema.types import AttributeType
+
+
+@dataclass
+class EvalContext:
+    """Name bindings for one evaluation.
+
+    ``values`` binds unqualified attribute names; ``qualified`` binds
+    qualifier -> payload for join predicates (``left.temp``).
+    """
+
+    values: dict = field(default_factory=dict)
+    qualified: dict[str, dict] = field(default_factory=dict)
+
+    def lookup(self, qualifier: str, name: str) -> object:
+        if qualifier:
+            payload = self.qualified.get(qualifier)
+            if payload is None:
+                raise UnknownAttributeError(f"unbound qualifier {qualifier!r}")
+            if name not in payload:
+                raise UnknownAttributeError(f"no attribute {qualifier}.{name}")
+            return payload[name]
+        if name not in self.values:
+            raise UnknownAttributeError(f"no attribute {name!r} in tuple")
+        return self.values[name]
+
+
+def _evaluate(node: Node, ctx: EvalContext, functions: FunctionRegistry) -> object:
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, AttributeRef):
+        return ctx.lookup(node.qualifier, node.name)
+    if isinstance(node, UnaryOp):
+        if node.op == "not":
+            value = _evaluate(node.operand, ctx, functions)
+            _require_bool(value, "not")
+            return not value
+        value = _evaluate(node.operand, ctx, functions)
+        _require_number(value, "-")
+        return -value
+    if isinstance(node, BinaryOp):
+        return _evaluate_binary(node, ctx, functions)
+    if isinstance(node, Call):
+        args = [_evaluate(arg, ctx, functions) for arg in node.args]
+        return functions.call(node.name, args)
+    raise EvaluationError(f"unknown AST node {type(node).__name__}")
+
+
+def _require_bool(value: object, op: str) -> None:
+    if not isinstance(value, bool):
+        raise EvaluationError(f"'{op}' needs a boolean, got {value!r}")
+
+
+def _require_number(value: object, op: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"'{op}' needs a number, got {value!r}")
+
+
+def _evaluate_binary(
+    node: BinaryOp, ctx: EvalContext, functions: FunctionRegistry
+) -> object:
+    op = node.op
+    # Short-circuit logical connectives.
+    if op == "and":
+        left = _evaluate(node.left, ctx, functions)
+        _require_bool(left, "and")
+        if not left:
+            return False
+        right = _evaluate(node.right, ctx, functions)
+        _require_bool(right, "and")
+        return right
+    if op == "or":
+        left = _evaluate(node.left, ctx, functions)
+        _require_bool(left, "or")
+        if left:
+            return True
+        right = _evaluate(node.right, ctx, functions)
+        _require_bool(right, "or")
+        return right
+
+    left = _evaluate(node.left, ctx, functions)
+    right = _evaluate(node.right, ctx, functions)
+
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {left!r} {op} {right!r}: {exc}"
+            ) from exc
+    if op == "in":
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise EvaluationError(f"'in' needs strings, got {left!r} in {right!r}")
+        return left in right
+    if op == "+":
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        _require_number(left, "+")
+        _require_number(right, "+")
+        return left + right
+    if op in ("-", "*", "/", "%"):
+        _require_number(left, op)
+        _require_number(right, op)
+        try:
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+            return left % right
+        except ZeroDivisionError as exc:
+            raise EvaluationError(f"division by zero: {node.unparse()}") from exc
+    raise EvaluationError(f"unknown operator {op!r}")
+
+
+@dataclass(frozen=True)
+class CompiledExpression:
+    """A parsed, reusable expression.
+
+    Compile once at design/deploy time, evaluate per tuple.  ``source`` is
+    kept for display in the designer and inclusion in DSN programs.
+    """
+
+    source: str
+    root: Node
+    functions: FunctionRegistry = field(default=DEFAULT_FUNCTIONS, compare=False)
+
+    def evaluate(self, values: "dict | None" = None, **qualified: dict) -> object:
+        """Evaluate against a payload dict (and/or qualified payloads)."""
+        ctx = EvalContext(values=values or {}, qualified=qualified)
+        return _evaluate(self.root, ctx, self.functions)
+
+    def evaluate_bool(self, values: "dict | None" = None, **qualified: dict) -> bool:
+        result = self.evaluate(values, **qualified)
+        if not isinstance(result, bool):
+            raise EvaluationError(
+                f"condition {self.source!r} returned non-boolean {result!r}"
+            )
+        return result
+
+    def type_check(
+        self,
+        schema: "StreamSchema | None" = None,
+        **qualified: StreamSchema,
+    ) -> AttributeType:
+        """Static type of the expression against the given schema(s).
+
+        Raises :class:`TypeMismatchError` / :class:`UnknownAttributeError`
+        when the expression cannot run against tuples of those schemas.
+        """
+        scope = SchemaScope(default=schema, qualifiers=qualified or None)
+        return self.root.infer_type(scope)
+
+    def check_boolean(
+        self,
+        schema: "StreamSchema | None" = None,
+        **qualified: StreamSchema,
+    ) -> None:
+        """Assert the expression is a boolean condition over the schema(s)."""
+        result = self.type_check(schema, **qualified)
+        if result is not AttributeType.BOOL:
+            raise TypeMismatchError(
+                f"condition {self.source!r} has type {result.value}, expected bool"
+            )
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return self.root.attributes()
+
+    def unparse(self) -> str:
+        return self.root.unparse()
+
+
+def compile_expression(
+    source: str, functions: "FunctionRegistry | None" = None
+) -> CompiledExpression:
+    """Parse ``source`` into a reusable :class:`CompiledExpression`."""
+    return CompiledExpression(
+        source=source,
+        root=parse(source),
+        functions=functions or DEFAULT_FUNCTIONS,
+    )

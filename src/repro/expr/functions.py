@@ -1,0 +1,179 @@
+"""Built-in function registry for the condition language.
+
+Functions cover what the paper's Transform/Virtual-Property operators need:
+math, strings, temporal extraction from virtual-time timestamps, spatial
+distance, and unit-of-measure conversion.  Each entry declares a signature
+(argument types, with ``None`` meaning "any"; FLOAT accepts any numeric) so
+the type checker can validate calls statically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import EvaluationError, UnknownFunctionError
+from repro.schema.types import AttributeType
+from repro.stt.geo import haversine_m
+from repro.stt.temporal import align_instant
+from repro.stt.units import DEFAULT_UNITS
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Declared signature of a built-in function."""
+
+    name: str
+    arg_types: tuple["AttributeType | None", ...]
+    return_type: AttributeType
+    impl: Callable
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+
+class FunctionRegistry:
+    """Name -> overload-set of :class:`FunctionSignature`."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, list[FunctionSignature]] = {}
+
+    def register(
+        self,
+        name: str,
+        arg_types: "tuple[AttributeType | None, ...]",
+        return_type: AttributeType,
+        impl: Callable,
+    ) -> None:
+        overloads = self._functions.setdefault(name.lower(), [])
+        if any(len(sig.arg_types) == len(arg_types) for sig in overloads):
+            raise UnknownFunctionError(
+                f"function {name!r}/{len(arg_types)} already registered"
+            )
+        overloads.append(FunctionSignature(name.lower(), arg_types, return_type, impl))
+
+    def signature(self, name: str, arity: int) -> FunctionSignature:
+        overloads = self._functions.get(name.lower())
+        if not overloads:
+            known = ", ".join(sorted(self._functions))
+            raise UnknownFunctionError(f"unknown function {name!r}; known: {known}")
+        for sig in overloads:
+            if sig.arity == arity:
+                return sig
+        arities = ", ".join(str(sig.arity) for sig in overloads)
+        raise UnknownFunctionError(
+            f"function {name!r} takes {arities} argument(s), not {arity}"
+        )
+
+    def call(self, name: str, args: list) -> object:
+        from repro.errors import ExpressionError, StreamLoaderError
+
+        sig = self.signature(name, len(args))
+        try:
+            return sig.impl(*args)
+        except ExpressionError:
+            raise
+        except (
+            TypeError,
+            ValueError,
+            ZeroDivisionError,
+            OverflowError,
+            StreamLoaderError,
+        ) as exc:
+            raise EvaluationError(f"{name}({args}) failed: {exc}") from exc
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+def _registry_with_builtins() -> FunctionRegistry:
+    reg = FunctionRegistry()
+    F = AttributeType.FLOAT
+    I = AttributeType.INT
+    S = AttributeType.STRING
+    B = AttributeType.BOOL
+    T = AttributeType.TIMESTAMP
+
+    # Math.
+    reg.register("abs", (F,), F, abs)
+    reg.register("sqrt", (F,), F, math.sqrt)
+    reg.register("floor", (F,), I, lambda x: int(math.floor(x)))
+    reg.register("ceil", (F,), I, lambda x: int(math.ceil(x)))
+    reg.register("round", (F,), I, lambda x: int(round(x)))
+    reg.register("round", (F, I), F, lambda x, d: round(x, d))
+    reg.register("pow", (F, F), F, math.pow)
+    reg.register("exp", (F,), F, math.exp)
+    reg.register("log", (F,), F, math.log)
+    reg.register("min", (F, F), F, min)
+    reg.register("max", (F, F), F, max)
+    reg.register("clamp", (F, F, F), F, lambda x, lo, hi: min(max(x, lo), hi))
+
+    # Strings.
+    reg.register("upper", (S,), S, str.upper)
+    reg.register("lower", (S,), S, str.lower)
+    reg.register("trim", (S,), S, str.strip)
+    reg.register("length", (S,), I, len)
+    reg.register("contains", (S, S), B, lambda hay, needle: needle in hay)
+    reg.register("startswith", (S, S), B, lambda s, p: s.startswith(p))
+    reg.register("endswith", (S, S), B, lambda s, p: s.endswith(p))
+    reg.register("replace", (S, S, S), S, lambda s, a, b: s.replace(a, b))
+    reg.register("concat", (S, S), S, lambda a, b: a + b)
+    reg.register("str", (None,), S, _to_string)
+
+    # Temporal extraction: virtual-time seconds -> calendar components.
+    reg.register("hour_of", (F,), I, lambda t: int(t % 86400.0 // 3600.0))
+    reg.register("minute_of", (F,), I, lambda t: int(t % 3600.0 // 60.0))
+    reg.register("day_of", (F,), I, lambda t: int(t // 86400.0))
+    reg.register(
+        "align", (F, S), F, lambda t, gran: align_instant(t, gran)
+    )
+
+    # Spatial.
+    reg.register("distance_m", (F, F, F, F), F, haversine_m)
+
+    # Unit conversion — the Transform family's headline capability.
+    reg.register(
+        "convert", (F, S, S), F, lambda v, src, dst: DEFAULT_UNITS.convert(v, src, dst)
+    )
+
+    # Validation helpers (the paper's "data conform to given validation
+    # rules, e.g. dates conforming to given patterns").
+    reg.register("matches", (S, S), B, _matches)
+    reg.register("is_finite", (F,), B, math.isfinite)
+    reg.register("between", (F, F, F), B, lambda x, lo, hi: lo <= x <= hi)
+
+    # Conditionals / null handling.
+    reg.register("if", (B, None, None), AttributeType.FLOAT, _if_impl)
+    reg.register("coalesce", (None, None), AttributeType.FLOAT, _coalesce)
+    return reg
+
+
+def _to_string(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _matches(value: str, pattern: str) -> bool:
+    import re
+
+    try:
+        return re.fullmatch(pattern, value) is not None
+    except re.error as exc:
+        raise EvaluationError(f"invalid pattern {pattern!r}: {exc}") from exc
+
+
+def _if_impl(cond: bool, then_value: object, else_value: object) -> object:
+    return then_value if cond else else_value
+
+
+def _coalesce(first: object, second: object) -> object:
+    return first if first is not None else second
+
+
+#: Shared default registry.
+DEFAULT_FUNCTIONS = _registry_with_builtins()

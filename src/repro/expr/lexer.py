@@ -1,0 +1,124 @@
+"""Tokenizer for the condition language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import LexError
+
+
+class TokenKind(Enum):
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"  # and or not true false null in
+    OP = "op"  # == != <= >= < > + - * / % .
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({"and", "or", "not", "true", "false", "null", "in"})
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_OPS = ("==", "!=", "<=", ">=")
+_SINGLE_OPS = set("<>+-*/%.=")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}@{self.position})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the result always ends with an EOF token.
+
+    Raises :class:`repro.errors.LexError` on invalid characters, unclosed
+    strings, or malformed numbers.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c == "(":
+            tokens.append(Token(TokenKind.LPAREN, c, i))
+            i += 1
+            continue
+        if c == ")":
+            tokens.append(Token(TokenKind.RPAREN, c, i))
+            i += 1
+            continue
+        if c == ",":
+            tokens.append(Token(TokenKind.COMMA, c, i))
+            i += 1
+            continue
+        if c in "'\"":
+            end = source.find(c, i + 1)
+            if end < 0:
+                raise LexError("unclosed string literal", i)
+            tokens.append(Token(TokenKind.STRING, source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                ch = source[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    # Only part of the number if followed by a digit —
+                    # otherwise it is the attribute-qualifier dot.
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif ch in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit()
+                    or (source[j + 1] in "+-" and j + 2 < n and source[j + 2].isdigit())
+                ):
+                    seen_exp = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            tokens.append(Token(TokenKind.NUMBER, text, i))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text.lower() in KEYWORDS else TokenKind.IDENT
+            norm = text.lower() if kind is TokenKind.KEYWORD else text
+            tokens.append(Token(kind, norm, i))
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _MULTI_OPS:
+            tokens.append(Token(TokenKind.OP, two, i))
+            i += 2
+            continue
+        if c in _SINGLE_OPS:
+            # Bare '=' is accepted as equality for user friendliness.
+            text = "==" if c == "=" else c
+            tokens.append(Token(TokenKind.OP, text, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {c!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

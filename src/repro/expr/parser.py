@@ -1,0 +1,180 @@
+"""Recursive-descent parser for the condition language.
+
+Grammar (standard precedence, loosest first)::
+
+    expr        := or_expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := not_expr ('and' not_expr)*
+    not_expr    := 'not' not_expr | comparison
+    comparison  := additive (('=='|'!='|'<'|'<='|'>'|'>='|'in') additive)?
+    additive    := term (('+'|'-') term)*
+    term        := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := NUMBER | STRING | 'true' | 'false' | 'null'
+                 | IDENT '(' [expr (',' expr)*] ')'
+                 | IDENT ['.' IDENT]
+                 | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.expr.ast import AttributeRef, BinaryOp, Call, Literal, Node, UnaryOp
+from repro.expr.lexer import Token, TokenKind, tokenize
+
+_COMPARATORS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _match_op(self, *ops: str) -> "Token | None":
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in ops:
+            return self._advance()
+        return None
+
+    def _match_keyword(self, *words: str) -> "Token | None":
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text in words:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._or_expr()
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}", trailing.position
+            )
+        return node
+
+    def _or_expr(self) -> Node:
+        node = self._and_expr()
+        while self._match_keyword("or"):
+            node = BinaryOp("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Node:
+        node = self._not_expr()
+        while self._match_keyword("and"):
+            node = BinaryOp("and", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Node:
+        if self._match_keyword("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        op_token = self._match_op(*_COMPARATORS)
+        if op_token is not None:
+            return BinaryOp(op_token.text, node, self._additive())
+        if self._match_keyword("in"):
+            return BinaryOp("in", node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._term()
+        while True:
+            op_token = self._match_op("+", "-")
+            if op_token is None:
+                return node
+            node = BinaryOp(op_token.text, node, self._term())
+
+    def _term(self) -> Node:
+        node = self._unary()
+        while True:
+            op_token = self._match_op("*", "/", "%")
+            if op_token is None:
+                return node
+            node = BinaryOp(op_token.text, node, self._unary())
+
+    def _unary(self) -> Node:
+        if self._match_op("-"):
+            operand = self._unary()
+            # Fold negative numeric literals so "-1" parses as Literal(-1)
+            # and the printer/parser pair round-trips exactly.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._primary()
+
+    def _primary(self) -> Node:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.KEYWORD and token.text in ("true", "false", "null"):
+            self._advance()
+            if token.text == "null":
+                return Literal(None)
+            return Literal(token.text == "true")
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            node = self._or_expr()
+            self._expect(TokenKind.RPAREN)
+            return node
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._peek().kind is TokenKind.LPAREN:
+                return self._call(token.text)
+            if self._match_op("."):
+                attr = self._expect(TokenKind.IDENT)
+                return AttributeRef(attr.text, qualifier=token.text)
+            return AttributeRef(token.text)
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r}", token.position
+        )
+
+    def _call(self, name: str) -> Node:
+        self._expect(TokenKind.LPAREN)
+        args: list[Node] = []
+        if self._peek().kind is not TokenKind.RPAREN:
+            args.append(self._or_expr())
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                args.append(self._or_expr())
+        self._expect(TokenKind.RPAREN)
+        return Call(name, tuple(args))
+
+
+def parse(source: str) -> Node:
+    """Parse ``source`` into an AST.
+
+    Raises :class:`repro.errors.LexError` or :class:`repro.errors.ParseError`.
+    """
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,29 @@
+"""Simulated programmable network.
+
+The paper deploys StreamLoader on a physical programmable network at NICT.
+This package substitutes a deterministic discrete-event simulation: compute
+nodes with finite processing capacity, links with latency and bandwidth, a
+routed topology, and a virtual clock that everything else in the library
+(sensors, operators, pub-sub, SCN control) runs on.  The control logic the
+paper demonstrates — workload-aware placement, migration, per-link traffic
+accounting — executes unchanged against this substrate.
+"""
+
+from repro.network.simclock import SimClock, ScheduledEvent
+from repro.network.node import NetworkNode
+from repro.network.link import Link
+from repro.network.topology import Topology
+from repro.network.netsim import NetworkSimulator, Message
+from repro.network.qos import QosClass, QosPolicy
+
+__all__ = [
+    "SimClock",
+    "ScheduledEvent",
+    "NetworkNode",
+    "Link",
+    "Topology",
+    "NetworkSimulator",
+    "Message",
+    "QosClass",
+    "QosPolicy",
+]

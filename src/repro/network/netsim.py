@@ -1,0 +1,152 @@
+"""The network simulator: message delivery over the topology.
+
+Combines the clock and the topology: a message sent between nodes is routed
+over the latency-shortest live path, charged to every link it crosses, and
+delivered via a scheduled callback after the accumulated propagation and
+transmission delay.  This is the substrate the SCN configures and the
+executor's operator processes communicate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import UnreachableError
+from repro.network.qos import QosPolicy
+from repro.network.simclock import SimClock
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight network message."""
+
+    source: str
+    target: str
+    payload: object
+    size_bytes: float
+    sent_at: float
+
+
+@dataclass
+class _TrafficStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: float = 0.0
+    total_delay: float = 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.total_delay / self.messages_delivered
+
+
+class NetworkSimulator:
+    """Clock + topology + message routing.
+
+    >>> topo = Topology.line(3)
+    >>> sim = NetworkSimulator(topology=topo)
+    >>> inbox = []
+    >>> sim.send("node-0", "node-2", {"v": 1}, 100, inbox.append)
+    >>> sim.clock.run()   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        topology: "Topology | None" = None,
+        clock: "SimClock | None" = None,
+        default_qos: "QosPolicy | None" = None,
+    ) -> None:
+        self.topology = topology if topology is not None else Topology()
+        self.clock = clock or SimClock()
+        self.default_qos = default_qos or QosPolicy()
+        self.stats = _TrafficStats()
+        #: Called with (message, reason) whenever a message is dropped.
+        self.on_drop: "Callable[[Message, str], None] | None" = None
+
+    def send(
+        self,
+        source: str,
+        target: str,
+        payload: object,
+        size_bytes: float,
+        on_delivery: Callable[[object], None],
+        qos: "QosPolicy | None" = None,
+    ) -> "Message | None":
+        """Route a message and schedule its delivery.
+
+        Local sends (source == target) are delivered after a negligible
+        scheduling delay, consistent with the in-process queues of
+        co-located operators.  Returns the message, or None if it was
+        dropped (no route, or latency budget exceeded).
+        """
+        policy = qos or self.default_qos
+        message = Message(
+            source=source,
+            target=target,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.clock.now,
+        )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+
+        if source == target:
+            self.clock.schedule(0.0, lambda: self._deliver(message, on_delivery))
+            return message
+
+        try:
+            path = self.topology.route(source, target)
+        except UnreachableError as exc:
+            self._drop(message, str(exc))
+            return None
+
+        segments = policy.segments(size_bytes)
+        per_segment = size_bytes / segments
+        delay = 0.0
+        for a, b in zip(path, path[1:]):
+            link = self.topology.link(a, b)
+            # Segments pipeline over the path: total time is dominated by
+            # the per-hop latency plus the serialized transmission of all
+            # segments on each hop.
+            delay += link.latency + segments * (per_segment / link.bandwidth)
+            link.account(size_bytes)
+        if delay > policy.max_latency:
+            self._drop(
+                message,
+                f"route latency {delay:.4f}s exceeds QoS budget "
+                f"{policy.max_latency}s",
+            )
+            return None
+        self.clock.schedule(delay, lambda: self._deliver(message, on_delivery))
+        return message
+
+    def _deliver(self, message: Message, on_delivery: Callable[[object], None]) -> None:
+        # A node that died while the message was in flight loses it.
+        if message.target in self.topology and not self.topology.node(message.target).up:
+            self._drop(message, f"target node {message.target!r} is down")
+            return
+        self.stats.messages_delivered += 1
+        self.stats.total_delay += self.clock.now - message.sent_at
+        on_delivery(message.payload)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.stats.messages_dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(message, reason)
+
+    # -- traffic accounting ---------------------------------------------------
+
+    def total_link_bytes(self) -> float:
+        """Total bytes moved across all links (the in-network-vs-central
+        ablation metric)."""
+        return sum(link.bytes_transferred for link in self.topology.links)
+
+    def reset_traffic_stats(self) -> None:
+        self.stats = _TrafficStats()
+        for link in self.topology.links:
+            link.bytes_transferred = 0.0
+            link.messages_transferred = 0

@@ -1,0 +1,101 @@
+"""Compute nodes of the programmable network.
+
+Each node "is in charge of managing a bunch of sensors and can execute the
+proposed ETL stream processing operations" (Section 3).  A node has a finite
+processing capacity in cost-units per second; operator processes placed on
+it consume capacity proportional to their tuple rate, and the monitor reads
+the resulting utilization to detect "the node that suffers because of high
+workload".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+
+@dataclass
+class NetworkNode:
+    """A machine in the simulated network.
+
+    Attributes:
+        node_id: unique identifier.
+        capacity: processing capacity in cost-units per second.
+        region: label used to co-locate sensors with their managing node.
+        up: whether the node is alive (failure injection sets this False).
+    """
+
+    node_id: str
+    capacity: float = 1000.0
+    region: str = ""
+    up: bool = True
+    #: process id -> current demand (cost-units per second).
+    _demands: dict[str, float] = field(default_factory=dict)
+    #: cumulative cost-units of work executed.
+    work_done: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise NetworkError("node_id must be non-empty")
+        if self.capacity <= 0:
+            raise NetworkError(f"node capacity must be positive: {self.capacity}")
+
+    # -- load accounting ----------------------------------------------------
+
+    def register_process(self, process_id: str, demand: float = 0.0) -> None:
+        """Register an operator process placed on this node."""
+        if process_id in self._demands:
+            raise NetworkError(
+                f"process {process_id!r} already placed on node {self.node_id!r}"
+            )
+        self._demands[process_id] = max(0.0, demand)
+
+    def unregister_process(self, process_id: str) -> None:
+        if process_id not in self._demands:
+            raise NetworkError(
+                f"process {process_id!r} is not on node {self.node_id!r}"
+            )
+        del self._demands[process_id]
+
+    def update_demand(self, process_id: str, demand: float) -> None:
+        """Set the current load (cost-units/s) a process puts on the node."""
+        if process_id not in self._demands:
+            raise NetworkError(
+                f"process {process_id!r} is not on node {self.node_id!r}"
+            )
+        self._demands[process_id] = max(0.0, demand)
+
+    def account_work(self, cost_units: float) -> None:
+        """Record executed work (for cumulative per-node statistics)."""
+        self.work_done += max(0.0, cost_units)
+
+    @property
+    def processes(self) -> tuple[str, ...]:
+        return tuple(self._demands)
+
+    @property
+    def load(self) -> float:
+        """Total current demand in cost-units per second."""
+        return sum(self._demands.values())
+
+    @property
+    def utilization(self) -> float:
+        """Load as a fraction of capacity (may exceed 1.0 when overloaded)."""
+        return self.load / self.capacity
+
+    @property
+    def headroom(self) -> float:
+        """Remaining capacity in cost-units per second (floored at 0)."""
+        return max(0.0, self.capacity - self.load)
+
+    def is_overloaded(self, threshold: float = 1.0) -> bool:
+        return self.utilization > threshold
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail(self) -> None:
+        self.up = False
+
+    def recover(self) -> None:
+        self.up = True

@@ -1,0 +1,78 @@
+"""QoS classes and policies.
+
+The SCN layer "dynamically coordinates the network configurations, such as
+data flows, segmentations, and QoS parameters" [ref 8].  We model QoS as a
+small set of delivery classes plus a per-channel policy controlling message
+segmentation (max payload size per message) and a drop policy under link
+overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import NetworkError
+
+
+class QosClass(Enum):
+    """Delivery classes, from cheapest to most demanding."""
+
+    BEST_EFFORT = "best-effort"
+    RELIABLE = "reliable"
+    REAL_TIME = "real-time"
+
+    @classmethod
+    def parse(cls, name: "str | QosClass") -> "QosClass":
+        if isinstance(name, QosClass):
+            return name
+        key = name.strip().lower().replace("_", "-")
+        for member in cls:
+            if member.value == key:
+                return member
+        known = ", ".join(m.value for m in cls)
+        raise NetworkError(f"unknown QoS class {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """Per-channel QoS configuration.
+
+    Attributes:
+        qos_class: delivery class.
+        segment_bytes: maximum bytes per network message; larger payloads
+            are split into ceil(size/segment_bytes) messages (the "segmen-
+            tations" the SCN coordinates).
+        priority: higher priorities win placement ties.
+        max_latency: latency budget in seconds (REAL_TIME channels only;
+            the SCN rejects routes whose latency exceeds it).
+    """
+
+    qos_class: QosClass = QosClass.BEST_EFFORT
+    segment_bytes: int = 65536
+    priority: int = 0
+    max_latency: float = float("inf")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qos_class", QosClass.parse(self.qos_class))
+        if self.segment_bytes <= 0:
+            raise NetworkError(
+                f"segment_bytes must be positive: {self.segment_bytes}"
+            )
+        if self.max_latency <= 0:
+            raise NetworkError(f"max_latency must be positive: {self.max_latency}")
+
+    def segments(self, size_bytes: float) -> int:
+        """Number of network messages needed for a payload of given size."""
+        if size_bytes <= 0:
+            return 1
+        full, rem = divmod(int(size_bytes), self.segment_bytes)
+        return full + (1 if rem else 0) or 1
+
+    def describe(self) -> str:
+        parts = [self.qos_class.value, f"segment={self.segment_bytes}"]
+        if self.priority:
+            parts.append(f"priority={self.priority}")
+        if self.max_latency != float("inf"):
+            parts.append(f"max_latency={self.max_latency}")
+        return " ".join(parts)

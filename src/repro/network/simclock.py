@@ -1,0 +1,170 @@
+"""Discrete-event simulation clock.
+
+A classic event-heap simulator: callbacks scheduled at virtual times, run in
+deterministic order (time, then insertion sequence).  The whole library is
+driven by one clock instance — sensor emissions, blocking-operator window
+flushes, message deliveries, monitor sampling, and SCN control decisions are
+all just scheduled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event in the heap (orderable by time, then sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event; it is skipped when its time arrives."""
+        self.cancelled = True
+
+
+class SimClock:
+    """Deterministic discrete-event clock.
+
+    >>> clock = SimClock()
+    >>> fired = []
+    >>> _ = clock.schedule(5.0, lambda: fired.append(clock.now))
+    >>> _ = clock.run_until(10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable,
+        start_delay: "float | None" = None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a zero-argument cancel function.  The first firing happens
+        after ``start_delay`` (default: one full interval).
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive: {interval}")
+        state = {"event": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["event"] = self.schedule(interval, fire)
+
+        first_delay = interval if start_delay is None else start_delay
+        state["event"] = self.schedule(first_delay, fire)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                state["event"].cancel()
+
+        return cancel
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        """Run all events scheduled strictly before/at ``time``.
+
+        Advances the clock to exactly ``time`` afterwards.  Returns the
+        number of events executed.  ``max_events`` guards against runaway
+        self-rescheduling loops.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time} from {self._now}")
+        if self._running:
+            raise SimulationError("clock is already running (no re-entrant runs)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.time > time:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"run_until({time}) exceeded {max_events} events; "
+                        f"likely a zero-delay rescheduling loop"
+                    )
+            self._now = time
+        finally:
+            self._running = False
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event heap drains.  Returns events executed."""
+        if self._running:
+            raise SimulationError("clock is already running (no re-entrant runs)")
+        self._running = True
+        executed = 0
+        try:
+            while self.step():
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded {max_events} events; "
+                        f"likely an unbounded periodic schedule"
+                    )
+        finally:
+            self._running = False
+        return executed

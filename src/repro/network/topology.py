@@ -1,0 +1,202 @@
+"""Network topology: the graph of nodes and links, with routing."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import NetworkError, UnknownNodeError, UnreachableError
+from repro.network.link import Link
+from repro.network.node import NetworkNode
+
+
+class Topology:
+    """Undirected graph of :class:`NetworkNode` connected by :class:`Link`.
+
+    Routing uses latency-weighted shortest paths over *live* nodes and
+    links, recomputed on demand (topologies here are small — tens of nodes —
+    so an explicit route cache with invalidation would be premature).
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._nodes: dict[str, NetworkNode] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: "NetworkNode | str", **kwargs) -> NetworkNode:
+        """Add a node (by object, or by id with NetworkNode kwargs)."""
+        if isinstance(node, str):
+            node = NetworkNode(node_id=node, **kwargs)
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node {node.node_id!r} already in topology")
+        self._nodes[node.node_id] = node
+        self._graph.add_node(node.node_id)
+        return node
+
+    def add_link(self, a: str, b: str, **kwargs) -> Link:
+        """Connect two existing nodes with a link."""
+        for node_id in (a, b):
+            if node_id not in self._nodes:
+                raise UnknownNodeError(f"unknown node {node_id!r}")
+        link = Link(a=a, b=b, **kwargs)
+        if link.key in self._links:
+            raise NetworkError(f"link {link.key} already in topology")
+        self._links[link.key] = link
+        self._graph.add_edge(a, b)
+        return link
+
+    # -- lookups ---------------------------------------------------------------
+
+    def node(self, node_id: str) -> NetworkNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
+
+    def link(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise NetworkError(f"no link between {a!r} and {b!r}") from None
+
+    @property
+    def nodes(self) -> list[NetworkNode]:
+        return list(self._nodes.values())
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def live_nodes(self) -> list[NetworkNode]:
+        return [node for node in self._nodes.values() if node.up]
+
+    def neighbors(self, node_id: str) -> list[str]:
+        self.node(node_id)
+        return sorted(self._graph.neighbors(node_id))
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing ----------------------------------------------------------------
+
+    def _routing_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            if node.up:
+                graph.add_node(node.node_id)
+        for link in self._links.values():
+            if link.up and link.a in graph and link.b in graph:
+                graph.add_edge(link.a, link.b, weight=link.latency)
+        return graph
+
+    def route(self, source: str, target: str) -> list[str]:
+        """Latency-shortest path of node ids from source to target.
+
+        Only live nodes/links participate.  Raises
+        :class:`repro.errors.UnreachableError` when no path exists.
+        """
+        for node_id in (source, target):
+            node = self.node(node_id)
+            if not node.up:
+                raise UnreachableError(f"node {node_id!r} is down")
+        if source == target:
+            return [source]
+        graph = self._routing_graph()
+        try:
+            return nx.shortest_path(graph, source, target, weight="weight")
+        except nx.NetworkXNoPath:
+            raise UnreachableError(
+                f"no live route from {source!r} to {target!r}"
+            ) from None
+
+    def path_latency(self, path: list[str]) -> float:
+        """Sum of link latencies along a node path."""
+        return sum(
+            self.link(a, b).latency for a, b in zip(path, path[1:])
+        )
+
+    def route_latency(self, source: str, target: str) -> float:
+        return self.path_latency(self.route(source, target))
+
+    # -- convenience builders ----------------------------------------------------
+
+    @classmethod
+    def star(
+        cls,
+        center_id: str = "hub",
+        leaf_count: int = 4,
+        capacity: float = 1000.0,
+        latency: float = 0.002,
+        bandwidth: float = 10_000_000.0,
+    ) -> "Topology":
+        """A hub-and-spoke topology (one central node, N edge nodes)."""
+        topo = cls()
+        topo.add_node(center_id, capacity=capacity * 2)
+        for index in range(leaf_count):
+            leaf = f"edge-{index}"
+            topo.add_node(leaf, capacity=capacity, region=f"region-{index}")
+            topo.add_link(center_id, leaf, latency=latency, bandwidth=bandwidth)
+        return topo
+
+    @classmethod
+    def grid(
+        cls,
+        rows: int = 3,
+        cols: int = 3,
+        capacity: float = 1000.0,
+        latency: float = 0.002,
+        bandwidth: float = 10_000_000.0,
+    ) -> "Topology":
+        """A rows x cols mesh (each node linked to right and down
+        neighbours) — the multi-path topology for rerouting experiments."""
+        if rows < 1 or cols < 1:
+            raise NetworkError("grid topology needs positive dimensions")
+        topo = cls()
+        for r in range(rows):
+            for c in range(cols):
+                topo.add_node(
+                    f"grid-{r}-{c}", capacity=capacity, region=f"row-{r}"
+                )
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    topo.add_link(f"grid-{r}-{c}", f"grid-{r}-{c + 1}",
+                                  latency=latency, bandwidth=bandwidth)
+                if r + 1 < rows:
+                    topo.add_link(f"grid-{r}-{c}", f"grid-{r + 1}-{c}",
+                                  latency=latency, bandwidth=bandwidth)
+        return topo
+
+    @classmethod
+    def line(
+        cls,
+        node_count: int = 4,
+        capacity: float = 1000.0,
+        latency: float = 0.002,
+        bandwidth: float = 10_000_000.0,
+    ) -> "Topology":
+        """A chain topology node-0 — node-1 — ... — node-(n-1)."""
+        if node_count < 1:
+            raise NetworkError("line topology needs at least one node")
+        topo = cls()
+        for index in range(node_count):
+            topo.add_node(
+                f"node-{index}", capacity=capacity, region=f"region-{index}"
+            )
+        for index in range(node_count - 1):
+            topo.add_link(
+                f"node-{index}",
+                f"node-{index + 1}",
+                latency=latency,
+                bandwidth=bandwidth,
+            )
+        return topo

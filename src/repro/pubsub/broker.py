@@ -1,0 +1,204 @@
+"""The broker overlay: advertisement propagation and data routing.
+
+One :class:`Broker` per network node holds the subscriptions of the
+processes running there.  The :class:`BrokerNetwork` coordinates them:
+publishing a sensor registers its metadata, propagates the advertisement to
+every other broker (costed on the simulated links), and matches it against
+standing subscriptions; data tuples flow from the sensor's managing node to
+each matching *active* subscriber.
+
+Paused subscriptions suppress traffic **at the source**: no message is sent
+for them, which is precisely why the paper's trigger-gated acquisition
+saves network resources rather than merely hiding data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PubSubError, UnknownSensorError
+from repro.network.netsim import NetworkSimulator
+from repro.pubsub.registry import SensorMetadata, SensorRegistry
+from repro.pubsub.subscription import Subscription, SubscriptionFilter
+from repro.streams.tuple import SensorTuple, estimate_size_bytes
+
+#: Wire size of a sensor advertisement (id + type + schema summary).
+_ADVERTISEMENT_BYTES = 256
+
+
+@dataclass
+class Broker:
+    """Per-node broker: the subscriptions homed on one network node."""
+
+    node_id: str
+    subscriptions: list[Subscription] = field(default_factory=list)
+    #: Sensor ids this broker has seen advertised (overlay propagation).
+    known_sensors: set[str] = field(default_factory=set)
+
+    def add_subscription(self, subscription: Subscription) -> None:
+        self.subscriptions.append(subscription)
+
+    def remove_subscription(self, subscription: Subscription) -> None:
+        try:
+            self.subscriptions.remove(subscription)
+        except ValueError:
+            raise PubSubError(
+                f"subscription {subscription.subscription_id} not on "
+                f"broker {self.node_id!r}"
+            ) from None
+
+
+class BrokerNetwork:
+    """The distributed pub-sub system over the simulated network.
+
+    With ``netsim=None`` the broker network runs in-process with immediate
+    delivery — handy for unit tests and the centralized baseline; with a
+    simulator, every advertisement and data tuple crosses the topology and
+    is charged to its links.
+    """
+
+    def __init__(
+        self,
+        netsim: "NetworkSimulator | None" = None,
+        registry: "SensorRegistry | None" = None,
+    ) -> None:
+        self.netsim = netsim
+        self.registry = registry if registry is not None else SensorRegistry()
+        self._brokers: dict[str, Broker] = {}
+        #: sensor_id -> matching subscriptions (rebuilt on membership change).
+        self._routes: dict[str, list[Subscription]] = {}
+        self.on_sensor_published: "Callable[[SensorMetadata], None] | None" = None
+        self.on_sensor_unpublished: "Callable[[SensorMetadata], None] | None" = None
+        self.advertisements_sent = 0
+        self.data_messages_sent = 0
+        self.data_messages_suppressed = 0
+
+    # -- broker membership ---------------------------------------------------
+
+    def broker(self, node_id: str) -> Broker:
+        """The broker on ``node_id`` (created on first use)."""
+        if self.netsim is not None and node_id not in self.netsim.topology:
+            raise PubSubError(f"no network node {node_id!r} to host a broker")
+        if node_id not in self._brokers:
+            self._brokers[node_id] = Broker(node_id=node_id)
+        return self._brokers[node_id]
+
+    @property
+    def brokers(self) -> list[Broker]:
+        return list(self._brokers.values())
+
+    # -- publish / unpublish (sensors joining and leaving, P3) -----------------
+
+    def publish(self, metadata: SensorMetadata) -> None:
+        """Publish a sensor: register, propagate, match subscriptions."""
+        self.registry.register(metadata)
+        home = self.broker(metadata.node_id)
+        home.known_sensors.add(metadata.sensor_id)
+        # Advertisement propagation through the overlay.
+        for broker in self._brokers.values():
+            if broker.node_id == metadata.node_id:
+                continue
+            self._send_advertisement(metadata, broker)
+        self._rebuild_routes_for(metadata.sensor_id)
+        if self.on_sensor_published is not None:
+            self.on_sensor_published(metadata)
+
+    def unpublish(self, sensor_id: str) -> SensorMetadata:
+        """A sensor leaves the network; its routes disappear."""
+        metadata = self.registry.unregister(sensor_id)
+        for broker in self._brokers.values():
+            broker.known_sensors.discard(sensor_id)
+        self._routes.pop(sensor_id, None)
+        if self.on_sensor_unpublished is not None:
+            self.on_sensor_unpublished(metadata)
+        return metadata
+
+    def _send_advertisement(self, metadata: SensorMetadata, broker: Broker) -> None:
+        self.advertisements_sent += 1
+        if self.netsim is None:
+            broker.known_sensors.add(metadata.sensor_id)
+            return
+        self.netsim.send(
+            source=metadata.node_id,
+            target=broker.node_id,
+            payload=("advertise", metadata.sensor_id),
+            size_bytes=_ADVERTISEMENT_BYTES,
+            on_delivery=lambda _payload, b=broker, sid=metadata.sensor_id: (
+                b.known_sensors.add(sid)
+            ),
+        )
+
+    # -- subscribe / unsubscribe ---------------------------------------------
+
+    def subscribe(
+        self,
+        node_id: str,
+        filter_: SubscriptionFilter,
+        callback: Callable[[SensorTuple], None],
+    ) -> Subscription:
+        """Create an active subscription homed on ``node_id``."""
+        subscription = Subscription(filter=filter_, callback=callback, node_id=node_id)
+        self.broker(node_id).add_subscription(subscription)
+        self._rebuild_all_routes()
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self.broker(subscription.node_id).remove_subscription(subscription)
+        self._rebuild_all_routes()
+
+    def subscriptions_for(self, sensor_id: str) -> list[Subscription]:
+        """The subscriptions a sensor's data is currently routed to."""
+        if sensor_id not in self.registry:
+            raise UnknownSensorError(f"unknown sensor {sensor_id!r}")
+        return list(self._routes.get(sensor_id, ()))
+
+    def _rebuild_routes_for(self, sensor_id: str) -> None:
+        metadata = self.registry.get(sensor_id)
+        matches = [
+            subscription
+            for broker in self._brokers.values()
+            for subscription in broker.subscriptions
+            if subscription.filter.matches(metadata)
+        ]
+        self._routes[sensor_id] = matches
+
+    def _rebuild_all_routes(self) -> None:
+        for sensor_id in list(self._routes) + [
+            m.sensor_id for m in self.registry.all() if m.sensor_id not in self._routes
+        ]:
+            if sensor_id in self.registry:
+                self._rebuild_routes_for(sensor_id)
+            else:
+                self._routes.pop(sensor_id, None)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def publish_data(self, sensor_id: str, tuple_: SensorTuple) -> int:
+        """Route one reading to every matching active subscription.
+
+        Returns the number of deliveries initiated.  Inactive (paused)
+        subscriptions generate **no** traffic and are counted as
+        suppressed — trigger-gated acquisition saves the network, not just
+        the screen.
+        """
+        metadata = self.registry.get(sensor_id)
+        initiated = 0
+        for subscription in self._routes.get(sensor_id, ()):
+            if not subscription.active:
+                subscription.suppressed += 1
+                self.data_messages_suppressed += 1
+                continue
+            self.data_messages_sent += 1
+            initiated += 1
+            if self.netsim is None:
+                subscription.deliver(tuple_)
+                continue
+            self.netsim.send(
+                source=metadata.node_id,
+                target=subscription.node_id,
+                payload=tuple_,
+                size_bytes=estimate_size_bytes(tuple_),
+                on_delivery=subscription.deliver,
+            )
+        return initiated

@@ -1,0 +1,59 @@
+"""Spatio-temporal stamp back-fill.
+
+The paper: *"whenever a sensor is not able to produce the spatio-temporal
+information of the produced data, this information is added by the
+Publish-Subscribe system that we adopt in our architecture."*
+
+A raw reading may arrive as a bare payload, a payload plus a partial stamp,
+or a fully stamped tuple.  :func:`backfill_stamp` completes whatever is
+missing from the sensor's advertisement: location defaults to the sensor's
+registered position, time to the current virtual time, granularities and
+themes to the advertised schema's.
+"""
+
+from __future__ import annotations
+
+from repro.pubsub.registry import SensorMetadata
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+
+
+def backfill_stamp(
+    payload: dict,
+    metadata: SensorMetadata,
+    now: float,
+    stamp: "SttStamp | None" = None,
+    seq: int = 0,
+) -> SensorTuple:
+    """Build a fully stamped :class:`SensorTuple` from a raw reading.
+
+    Args:
+        payload: the sensor's attribute values.
+        metadata: the sensor's advertisement (source of the defaults).
+        now: current virtual time, used when the reading has no timestamp.
+        stamp: partial stamp if the sensor produced one (its fields win).
+        seq: per-sensor sequence number.
+    """
+    schema = metadata.schema
+    if stamp is not None:
+        full = SttStamp(
+            time=stamp.time,
+            location=stamp.location,
+            temporal_granularity=stamp.temporal_granularity,
+            spatial_granularity=stamp.spatial_granularity,
+            themes=stamp.themes or schema.themes,
+        )
+    else:
+        full = SttStamp(
+            time=now,
+            location=metadata.location,
+            temporal_granularity=schema.temporal_granularity,
+            spatial_granularity=schema.spatial_granularity,
+            themes=schema.themes,
+        )
+    return SensorTuple(
+        payload=payload,
+        stamp=full,
+        source=metadata.sensor_id,
+        seq=seq,
+    )

@@ -1,0 +1,107 @@
+"""Subscriptions: who receives which sensor streams.
+
+A subscription pairs a filter (by sensor id, type, theme, area) with a
+delivery callback and an activation state.  The activation state is the
+control-plane hook: Trigger On/Off commands pause or resume the matched
+subscriptions rather than touching the sensors themselves, exactly the
+"activating/de-activating the streams" behaviour of Table 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PubSubError
+from repro.pubsub.registry import SensorMetadata
+from repro.streams.tuple import SensorTuple
+from repro.stt.spatial import Box, representative_point
+from repro.stt.thematic import Theme
+
+_subscription_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SubscriptionFilter:
+    """Predicate over sensor advertisements.
+
+    All given criteria must hold (conjunctive).  An empty filter matches
+    every sensor — legal but usually a design smell, so the designer warns.
+
+    Attributes:
+        sensor_ids: exact ids to accept.
+        sensor_type: required type label.
+        theme: required theme (matches sub/super-themes).
+        area: sensor location must fall in this box.
+        min_frequency / max_frequency: bounds on advertised rate.
+    """
+
+    sensor_ids: tuple[str, ...] = ()
+    sensor_type: str = ""
+    theme: "Theme | None" = None
+    area: "Box | None" = None
+    min_frequency: float = 0.0
+    max_frequency: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.min_frequency > self.max_frequency:
+            raise PubSubError(
+                f"min_frequency ({self.min_frequency}) exceeds "
+                f"max_frequency ({self.max_frequency})"
+            )
+
+    def matches(self, metadata: SensorMetadata) -> bool:
+        if self.sensor_ids and metadata.sensor_id not in self.sensor_ids:
+            return False
+        if self.sensor_type and metadata.sensor_type != self.sensor_type:
+            return False
+        if self.theme is not None and not metadata.has_theme(self.theme):
+            return False
+        if self.area is not None and not self.area.contains(
+            representative_point(metadata.location)
+        ):
+            return False
+        if not (self.min_frequency <= metadata.frequency <= self.max_frequency):
+            return False
+        return True
+
+    @classmethod
+    def for_sensor(cls, sensor_id: str) -> "SubscriptionFilter":
+        return cls(sensor_ids=(sensor_id,))
+
+
+@dataclass
+class Subscription:
+    """An active interest in matching sensor streams.
+
+    Attributes:
+        filter: which sensors this subscription receives.
+        callback: invoked with each delivered :class:`SensorTuple`.
+        node_id: network node where the subscriber runs (delivery target).
+        active: paused subscriptions match but do not receive data.
+        subscription_id: unique, assigned at construction.
+    """
+
+    filter: SubscriptionFilter
+    callback: Callable[[SensorTuple], None]
+    node_id: str
+    active: bool = True
+    subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
+    delivered: int = 0
+    suppressed: int = 0
+
+    def pause(self) -> None:
+        self.active = False
+
+    def resume(self) -> None:
+        self.active = True
+
+    def deliver(self, tuple_: SensorTuple) -> bool:
+        """Deliver if active; returns whether delivery happened."""
+        if not self.active:
+            self.suppressed += 1
+            return False
+        self.delivered += 1
+        self.callback(tuple_)
+        return True

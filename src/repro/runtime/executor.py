@@ -1,0 +1,427 @@
+"""The executor: deploy DSN programs and coordinate their processes.
+
+Deployment pipeline (Section 3 / demo part P2):
+
+1. validate + translate the conceptual dataflow (or accept a DSN program);
+2. SCN service discovery: bind source services to published sensors;
+3. estimate per-service load and ask the SCN for a placement;
+4. QoS admission on the sink channels;
+5. spawn one :class:`OperatorProcess` per operation/sink on its node;
+6. wire channels (process routes) and source subscriptions (pub-sub);
+7. wire trigger control: commands pause/resume the governed sources'
+   subscriptions — suppressing traffic at the source;
+8. start timers, register with the monitor, begin periodic rebalancing.
+
+The same executor hosts many deployments ("this and other dataflows that
+are under control", Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DeploymentError, LifecycleError
+from repro.dataflow.graph import Dataflow
+from repro.dsn.ast import DsnProgram, ServiceRole
+from repro.dsn.generate import dataflow_to_dsn
+from repro.dsn.scn import PlacementDecision, ScnController
+from repro.network.netsim import NetworkSimulator
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.registry import SensorMetadata
+from repro.pubsub.subscription import Subscription
+from repro.runtime.lifecycle import DeploymentState
+from repro.runtime.monitor import Monitor
+from repro.runtime.process import OperatorProcess
+from repro.streams.base import ControlCommand
+from repro.streams.sink import CallbackSink, ListSink
+from repro.streams.tuple import SensorTuple
+
+#: Nominal demand (cost-units/s) assumed for a service before live rates
+#: are known.
+_NOMINAL_DEMAND = 1.0
+
+
+@dataclass
+class _SourceBinding:
+    """A deployed source service: its sensors and subscriptions."""
+
+    service_name: str
+    sensors: list[SensorMetadata]
+    subscriptions: list[Subscription] = field(default_factory=list)
+
+    @property
+    def sensor_ids(self) -> set[str]:
+        return {metadata.sensor_id for metadata in self.sensors}
+
+
+class Deployment:
+    """A running dataflow: processes, bindings, placements, state."""
+
+    def __init__(
+        self,
+        name: str,
+        program: DsnProgram,
+        executor: "Executor",
+        flow: "Dataflow | None" = None,
+    ) -> None:
+        self.name = name
+        self.program = program
+        self.flow = flow
+        self.executor = executor
+        self.processes: dict[str, OperatorProcess] = {}
+        self.bindings: dict[str, _SourceBinding] = {}
+        self.placements: dict[str, PlacementDecision] = {}
+        self.collectors: dict[str, ListSink] = {}
+        self.state = DeploymentState.DESIGNED
+        self._rebalance_cancel: "Callable[[], None] | None" = None
+        #: subscription id -> the process that consumes its deliveries.
+        self._sub_targets: dict[int, OperatorProcess] = {}
+
+    # -- accessors ----------------------------------------------------------
+
+    def process(self, service_name: str) -> OperatorProcess:
+        try:
+            return self.processes[service_name]
+        except KeyError:
+            raise DeploymentError(
+                f"no process for service {service_name!r} in {self.name!r}"
+            ) from None
+
+    def collected(self, sink_name: str) -> list[SensorTuple]:
+        """Tuples received by a collector sink."""
+        try:
+            return self.collectors[sink_name].received
+        except KeyError:
+            raise DeploymentError(
+                f"{sink_name!r} is not a collector sink of {self.name!r}"
+            ) from None
+
+    def assignments(self) -> dict[str, str]:
+        return {name: process.node_id for name, process in self.processes.items()}
+
+    # -- control ------------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend acquisition (subscriptions stop producing traffic)."""
+        if self.state is not DeploymentState.RUNNING:
+            raise LifecycleError(f"cannot pause deployment in state {self.state}")
+        for binding in self.bindings.values():
+            for subscription in binding.subscriptions:
+                subscription.pause()
+        self.state = DeploymentState.PAUSED
+
+    def resume(self) -> None:
+        if self.state is not DeploymentState.PAUSED:
+            raise LifecycleError(f"cannot resume deployment in state {self.state}")
+        for binding in self.bindings.values():
+            for subscription in binding.subscriptions:
+                subscription.resume()
+        self.state = DeploymentState.RUNNING
+
+    def teardown(self) -> None:
+        """Stop everything and release network resources."""
+        if self.state is DeploymentState.STOPPED:
+            return
+        if self._rebalance_cancel is not None:
+            self._rebalance_cancel()
+            self._rebalance_cancel = None
+        for binding in self.bindings.values():
+            for subscription in binding.subscriptions:
+                self.executor.broker_network.unsubscribe(subscription)
+            binding.subscriptions.clear()
+        for process in self.processes.values():
+            process.stop()
+        self.executor.monitor.unwatch(self.name)
+        self.state = DeploymentState.STOPPED
+
+    def apply_control(self, command: ControlCommand) -> int:
+        """Actuate a trigger command: toggle governed subscriptions.
+
+        Returns the number of subscriptions toggled.  The command's sensor
+        ids select which governed sources are affected; a command naming no
+        sensor bound to this deployment toggles nothing.
+        """
+        self.executor.monitor.record_control(self.name, command)
+        targets = set(command.sensor_ids)
+        toggled = 0
+        governed = {
+            control.source for control in self.program.controls
+        }
+        for service_name in governed:
+            binding = self.bindings.get(service_name)
+            if binding is None:
+                continue
+            if targets and not (targets & binding.sensor_ids):
+                continue
+            for subscription in binding.subscriptions:
+                if command.activate:
+                    subscription.resume()
+                else:
+                    subscription.pause()
+                toggled += 1
+        return toggled
+
+
+class Executor:
+    """Coordinates deployments over one network + pub-sub + SCN stack."""
+
+    def __init__(
+        self,
+        netsim: NetworkSimulator,
+        broker_network: BrokerNetwork,
+        scn: "ScnController | None" = None,
+        monitor: "Monitor | None" = None,
+        warehouse: "object | None" = None,
+        sticker: "object | None" = None,
+        rebalance_interval: float = 300.0,
+    ) -> None:
+        self.netsim = netsim
+        self.broker_network = broker_network
+        self.scn = scn or ScnController(netsim.topology)
+        self.monitor = monitor or Monitor(netsim)
+        self.warehouse = warehouse
+        self.sticker = sticker
+        self.rebalance_interval = rebalance_interval
+        self.deployments: dict[str, Deployment] = {}
+        self.monitor.start()
+
+    # -- demand estimation -------------------------------------------------------
+
+    def _estimate_demands(
+        self, program: DsnProgram, bindings: dict[str, list[SensorMetadata]]
+    ) -> dict[str, float]:
+        """Expected cost-units/s per service from advertised sensor rates.
+
+        Rates propagate along channels: pass-through for per-tuple
+        operators, 1/interval for aggregations, zero for triggers (control
+        only).  This is only the *initial* placement signal; live rates
+        take over at the first monitor sample.
+        """
+        rates: dict[str, float] = {}
+        demands: dict[str, float] = {}
+        for service in self.scn._topological_services(program):
+            if service.role is ServiceRole.SOURCE:
+                sensors = bindings.get(service.name, [])
+                rates[service.name] = sum(m.frequency for m in sensors)
+                continue
+            in_rate = sum(
+                rates.get(channel.source, 0.0)
+                for channel in program.channels_into(service.name)
+            )
+            if service.kind == "aggregation":
+                interval = float(service.params.get("interval", 1.0))
+                out_rate = 1.0 / interval if interval > 0 else 0.0
+            elif service.kind in ("trigger-on", "trigger-off"):
+                out_rate = 0.0
+            else:
+                out_rate = in_rate
+            rates[service.name] = out_rate
+            demands[service.name] = max(_NOMINAL_DEMAND, in_rate)
+        return demands
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, flow_or_program: "Dataflow | DsnProgram") -> Deployment:
+        """Translate (if needed), place, spawn, wire, and start a dataflow."""
+        if isinstance(flow_or_program, Dataflow):
+            flow = flow_or_program
+            program = dataflow_to_dsn(flow, self.broker_network.registry)
+        else:
+            flow = None
+            program = flow_or_program
+            program.check()
+        if program.name in self.deployments:
+            existing = self.deployments[program.name]
+            if existing.state is not DeploymentState.STOPPED:
+                raise DeploymentError(
+                    f"a deployment named {program.name!r} is already running"
+                )
+
+        deployment = Deployment(program.name, program, self, flow=flow)
+        sensor_bindings = self.scn.discover(program, self.broker_network.registry)
+        demands = self._estimate_demands(program, sensor_bindings)
+        placements = self.scn.place(program, sensor_bindings, demands)
+        self.scn.admit_qos(program, placements)
+        deployment.placements = placements
+
+        # Spawn processes for operators and sinks.
+        for service in program.services:
+            if service.role is ServiceRole.SOURCE:
+                deployment.bindings[service.name] = _SourceBinding(
+                    service_name=service.name,
+                    sensors=sensor_bindings[service.name],
+                )
+                continue
+            operator = self._build_runtime(service, deployment)
+            process = OperatorProcess(
+                process_id=f"{program.name}:{service.name}",
+                operator=operator,
+                node_id=placements[service.name].node_id,
+                netsim=self.netsim,
+            )
+            node = self.netsim.topology.node(process.node_id)
+            node.update_demand(process.process_id, demands.get(service.name, 0.0))
+            deployment.processes[service.name] = process
+
+        # Wire channels.
+        for channel in program.channels:
+            target = deployment.processes[channel.target]
+            qos = program.service(channel.target).qos
+            if channel.source in deployment.bindings:
+                self._bind_source(deployment, channel.source, target, channel.port)
+            else:
+                deployment.processes[channel.source].add_route(
+                    target, port=channel.port, qos=qos
+                )
+
+        # Start processes and monitoring.
+        for process in deployment.processes.values():
+            process.start()
+        self.monitor.watch(program.name, list(deployment.processes.values()))
+        self.monitor.log(program.name, "deployed", f"{len(deployment.processes)} processes")
+        deployment.state = DeploymentState.RUNNING
+        deployment._rebalance_cancel = self.netsim.clock.schedule_periodic(
+            self.rebalance_interval, lambda: self._rebalance(deployment)
+        )
+        self.deployments[program.name] = deployment
+        return deployment
+
+    def _build_runtime(self, service, deployment: Deployment):
+        """Instantiate the runtime operator (or sink) for a service."""
+        from repro.dataflow.ops import spec_from_dict
+
+        if service.role is ServiceRole.OPERATOR:
+            spec = spec_from_dict({"kind": service.kind, **service.params})
+            operator = spec.build_operator()
+            if service.kind in ("trigger-on", "trigger-off"):
+                operator.control = deployment.apply_control
+            return operator
+        # Sinks.
+        config = dict(service.params.get("config", {}))
+        if service.kind == "warehouse":
+            if self.warehouse is None:
+                raise DeploymentError(
+                    f"sink {service.name!r} needs a warehouse, but the "
+                    f"executor was built without one"
+                )
+            value_attribute = config.get("value_attribute")
+            return CallbackSink(
+                lambda t, va=value_attribute: self.warehouse.load(t, value_attribute=va),
+                name=f"warehouse:{service.name}",
+            )
+        if service.kind == "visualization":
+            if self.sticker is None:
+                raise DeploymentError(
+                    f"sink {service.name!r} needs a visualization feed, but "
+                    f"the executor was built without one"
+                )
+            return CallbackSink(
+                self.sticker.push, name=f"sticker:{service.name}"
+            )
+        sink = ListSink(name=f"collector:{service.name}")
+        deployment.collectors[service.name] = sink
+        return sink
+
+    def _bind_source(
+        self,
+        deployment: Deployment,
+        service_name: str,
+        target: OperatorProcess,
+        port: int,
+    ) -> None:
+        """Subscribe the target process to the source's sensors."""
+        service = deployment.program.service(service_name)
+        from repro.dsn.scn import _filter_from_params
+
+        filter_ = _filter_from_params(service.params)
+        subscription = self.broker_network.subscribe(
+            node_id=target.node_id,
+            filter_=filter_,
+            callback=lambda tuple_, t=target, p=port: t.receive(tuple_, port=p),
+        )
+        if not service.params.get("active", True):
+            subscription.pause()
+        deployment.bindings[service_name].subscriptions.append(subscription)
+        deployment._sub_targets[subscription.subscription_id] = target
+
+    # -- rebalancing -------------------------------------------------------------
+
+    def _rebalance(self, deployment: Deployment) -> None:
+        """One SCN coordination round: migrate off overloaded/dead nodes."""
+        if deployment.state is not DeploymentState.RUNNING:
+            return
+        now = self.netsim.clock.now
+        self._evacuate_dead_nodes(deployment)
+        service_demands: dict[str, float] = {}
+        current: dict[str, PlacementDecision] = {}
+        for name, process in deployment.processes.items():
+            service_demands[process.process_id] = process.sample_load(now)
+            current[process.process_id] = PlacementDecision(
+                service=process.process_id,
+                node_id=process.node_id,
+                score=0.0,
+                reason="live",
+            )
+        moves = self.scn.suggest_migrations(current, service_demands)
+        by_pid = {p.process_id: (name, p) for name, p in deployment.processes.items()}
+        for move in moves:
+            name, process = by_pid[move.service]
+            process.move_to(move.to_node)
+            deployment.placements[name] = PlacementDecision(
+                service=name,
+                node_id=move.to_node,
+                score=0.0,
+                reason=move.reason,
+            )
+            # Subscriptions feeding the moved process follow it.
+            for binding in deployment.bindings.values():
+                for subscription in binding.subscriptions:
+                    if deployment._sub_targets.get(
+                        subscription.subscription_id
+                    ) is process:
+                        subscription.node_id = move.to_node
+            self.monitor.record_assignment(
+                move.service, move.from_node, move.to_node, move.reason
+            )
+
+    def _evacuate_dead_nodes(self, deployment: Deployment) -> None:
+        """Failure recovery: move processes off nodes that have died.
+
+        A process on a dead node silently drops everything sent to it; at
+        each coordination round the executor relocates such processes and
+        logs the reassignment.  All displaced processes of one deployment
+        go to the *same* live node: a dead node may have been the only
+        bridge between parts of the topology (e.g. a star's hub), and
+        co-locating keeps the deployment's internal edges deliverable.
+        """
+        displaced = [
+            (name, process)
+            for name, process in deployment.processes.items()
+            if not self.netsim.topology.node(process.node_id).up
+        ]
+        if not displaced:
+            return
+        candidates = self.netsim.topology.live_nodes()
+        if not candidates:
+            return  # nowhere to go; keep waiting for recovery
+        target = max(candidates, key=lambda n: n.headroom)
+        for name, process in displaced:
+            origin = process.node_id
+            process.move_to(target.node_id)
+            for binding in deployment.bindings.values():
+                for subscription in binding.subscriptions:
+                    if deployment._sub_targets.get(
+                        subscription.subscription_id
+                    ) is process:
+                        subscription.node_id = target.node_id
+            deployment.placements[name] = PlacementDecision(
+                service=name,
+                node_id=target.node_id,
+                score=0.0,
+                reason=f"node {origin!r} is down",
+            )
+            self.monitor.record_assignment(
+                process.process_id, origin, target.node_id,
+                f"node {origin!r} is down",
+            )

@@ -1,0 +1,205 @@
+"""The monitor: execution logs and statistics for the web interface.
+
+The paper enumerates exactly what the monitor surfaces: *"the number of
+tuples that each operation handle per second, the node that suffers
+because of high workload, which node is in charge of executing an
+operation and when the assignment changes"* — plus, for Figure 3, the
+flows of data of every dataflow under control.
+
+The monitor samples each deployment's processes on the virtual clock and
+keeps per-operation rate series, per-node utilization series, the
+assignment log, and trigger/control events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.netsim import NetworkSimulator
+from repro.runtime.process import OperatorProcess
+from repro.runtime.stats import TimeSeries
+from repro.streams.base import ControlCommand
+
+
+@dataclass(frozen=True)
+class AssignmentChange:
+    """One entry of the "when the assignment changes" log."""
+
+    time: float
+    process_id: str
+    from_node: str
+    to_node: str
+    reason: str
+
+
+@dataclass
+class LogRecord:
+    """A structured execution-log line."""
+
+    time: float
+    source: str
+    event: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:10.1f}] {self.source}: {self.event}{detail}"
+
+
+class Monitor:
+    """Collects logs and metrics from a set of deployments."""
+
+    def __init__(self, netsim: NetworkSimulator, sample_interval: float = 60.0) -> None:
+        self.netsim = netsim
+        self.sample_interval = sample_interval
+        #: (deployment, process) -> tuples/sec series.
+        self.operation_rates: dict[str, TimeSeries] = {}
+        #: node -> utilization series.
+        self.node_utilization: dict[str, TimeSeries] = {}
+        self.assignment_log: list[AssignmentChange] = []
+        self.control_log: list[ControlCommand] = []
+        self.logs: list[LogRecord] = []
+        self._watched: dict[str, list[OperatorProcess]] = {}
+        self._cancel = None
+
+    # -- registration -------------------------------------------------------
+
+    def watch(self, deployment_name: str, processes: list[OperatorProcess]) -> None:
+        self._watched[deployment_name] = list(processes)
+        self.log(deployment_name, "watch", f"{len(processes)} processes")
+
+    def unwatch(self, deployment_name: str) -> None:
+        self._watched.pop(deployment_name, None)
+        self.log(deployment_name, "unwatch")
+
+    def start(self) -> None:
+        if self._cancel is None:
+            self._cancel = self.netsim.clock.schedule_periodic(
+                self.sample_interval, self.sample
+            )
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    # -- event intake ---------------------------------------------------------
+
+    def log(self, source: str, event: str, detail: str = "") -> None:
+        self.logs.append(
+            LogRecord(time=self.netsim.clock.now, source=source, event=event, detail=detail)
+        )
+
+    def record_assignment(
+        self, process_id: str, from_node: str, to_node: str, reason: str
+    ) -> None:
+        change = AssignmentChange(
+            time=self.netsim.clock.now,
+            process_id=process_id,
+            from_node=from_node,
+            to_node=to_node,
+            reason=reason,
+        )
+        self.assignment_log.append(change)
+        self.log(process_id, "reassigned", f"{from_node} -> {to_node} ({reason})")
+
+    def record_control(self, deployment_name: str, command: ControlCommand) -> None:
+        self.control_log.append(command)
+        verb = "activate" if command.activate else "deactivate"
+        self.log(
+            deployment_name,
+            verb,
+            f"{', '.join(command.sensor_ids)} ({command.reason})",
+        )
+
+    # -- sampling ------------------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample of every watched process and every node."""
+        now = self.netsim.clock.now
+        for deployment, processes in self._watched.items():
+            for process in processes:
+                process.sample_load(now)
+                key = f"{deployment}/{process.process_id}"
+                series = self.operation_rates.setdefault(
+                    key, TimeSeries(name=key)
+                )
+                series.record(now, process.rate.rate)
+        for node in self.netsim.topology.nodes:
+            series = self.node_utilization.setdefault(
+                node.node_id, TimeSeries(name=node.node_id)
+            )
+            series.record(now, node.utilization)
+
+    # -- the "web interface" view ---------------------------------------------------
+
+    def suffering_nodes(self, threshold: float = 0.9) -> list[str]:
+        """Nodes currently above the utilization threshold."""
+        return sorted(
+            node.node_id
+            for node in self.netsim.topology.nodes
+            if node.utilization > threshold
+        )
+
+    def current_assignments(self) -> dict[str, str]:
+        """process key -> node currently executing it."""
+        return {
+            f"{deployment}/{process.process_id}": process.node_id
+            for deployment, processes in self._watched.items()
+            for process in processes
+        }
+
+    def report(self) -> dict:
+        """The statistics panel: everything Figure 3 displays, as data."""
+        return {
+            "time": self.netsim.clock.now,
+            "operation_rates": {
+                key: series.last for key, series in self.operation_rates.items()
+            },
+            "node_utilization": {
+                key: series.last for key, series in self.node_utilization.items()
+            },
+            "suffering_nodes": self.suffering_nodes(),
+            "assignments": self.current_assignments(),
+            "assignment_changes": len(self.assignment_log),
+            "controls": len(self.control_log),
+            "network": {
+                "messages_sent": self.netsim.stats.messages_sent,
+                "messages_delivered": self.netsim.stats.messages_delivered,
+                "messages_dropped": self.netsim.stats.messages_dropped,
+                "mean_delay": self.netsim.stats.mean_delay,
+                "link_bytes": self.netsim.total_link_bytes(),
+            },
+        }
+
+    def render_dashboard(self) -> str:
+        """ASCII rendering of the monitoring screen (Figure 3 stand-in)."""
+        report = self.report()
+        lines = [
+            f"== StreamLoader monitor @ t={report['time']:.0f}s ==",
+            "-- operations (tuples/s) --",
+        ]
+        for key in sorted(report["operation_rates"]):
+            rate = report["operation_rates"][key] or 0.0
+            node = report["assignments"].get(key, "?")
+            bar = "#" * min(40, int(rate))
+            lines.append(f"  {key:40s} {rate:8.2f}  on {node:10s} {bar}")
+        lines.append("-- nodes (utilization) --")
+        for key in sorted(report["node_utilization"]):
+            util = report["node_utilization"][key] or 0.0
+            flag = "  << SUFFERING" if key in report["suffering_nodes"] else ""
+            bar = "#" * min(40, int(util * 40))
+            lines.append(f"  {key:20s} {util:6.1%} {bar}{flag}")
+        lines.append(
+            f"-- network: {report['network']['messages_delivered']} delivered, "
+            f"{report['network']['messages_dropped']} dropped, "
+            f"{report['network']['link_bytes']:.0f} bytes on links --"
+        )
+        if self.assignment_log:
+            lines.append("-- reassignments --")
+            for change in self.assignment_log[-5:]:
+                lines.append(
+                    f"  t={change.time:.0f}: {change.process_id} "
+                    f"{change.from_node} -> {change.to_node}"
+                )
+        return "\n".join(lines)

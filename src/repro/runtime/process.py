@@ -1,0 +1,152 @@
+"""Operator processes: a runtime operator hosted on a network node.
+
+"For the execution, the sources are bound to specific sensors handled by
+the network nodes, and operations located on the machines that, depending
+on workload, apply the logic specified in the conceptual dataflow."
+
+An :class:`OperatorProcess` wraps one runtime operator, receives tuples
+(delivered by the pub-sub layer or by upstream processes over the
+simulated network), charges the hosting node for the work, and forwards
+emissions along its routes.  Moving a process to another node is a single
+re-registration — the forwarding layer picks up the new location on the
+next message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DeploymentError
+from repro.network.netsim import NetworkSimulator
+from repro.network.qos import QosPolicy
+from repro.runtime.stats import RateEstimator
+from repro.streams.base import Operator
+from repro.streams.tuple import SensorTuple, estimate_size_bytes
+
+
+@dataclass(frozen=True)
+class Route:
+    """One downstream destination of a process's output."""
+
+    target: "OperatorProcess"
+    port: int = 0
+    qos: "QosPolicy | None" = None
+
+
+class OperatorProcess:
+    """A deployed operator (or sink) running on a node.
+
+    >>> process = OperatorProcess("filter-1", operator, "edge-0", netsim)
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        process_id: str,
+        operator: Operator,
+        node_id: str,
+        netsim: NetworkSimulator,
+    ) -> None:
+        self.process_id = process_id
+        self.operator = operator
+        self.node_id = node_id
+        self.netsim = netsim
+        self.routes: list[Route] = []
+        self.rate = RateEstimator()
+        self._timer_cancel: "Callable[[], None] | None" = None
+        self._started = False
+        self._stopped = False
+        netsim.topology.node(node_id).register_process(process_id)
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_route(self, target: "OperatorProcess", port: int = 0,
+                  qos: "QosPolicy | None" = None) -> None:
+        self.routes.append(Route(target=target, port=port, qos=qos))
+
+    def start(self) -> None:
+        """Arm the flush timer for blocking operators."""
+        if self._started:
+            raise DeploymentError(f"process {self.process_id!r} already started")
+        self._started = True
+        self._stopped = False
+        if self.operator.is_blocking:
+            assert self.operator.interval is not None
+            self._timer_cancel = self.netsim.clock.schedule_periodic(
+                self.operator.interval, self._fire_timer
+            )
+
+    def stop(self) -> None:
+        """Stop timers and release the node registration."""
+        if self._timer_cancel is not None:
+            self._timer_cancel()
+            self._timer_cancel = None
+        node = self.netsim.topology.node(self.node_id)
+        if self.process_id in node.processes:
+            node.unregister_process(self.process_id)
+        self._started = False
+        self._stopped = True
+
+    def move_to(self, node_id: str) -> None:
+        """Migrate this process to another node (SCN decision applied)."""
+        if node_id == self.node_id:
+            return
+        old = self.netsim.topology.node(self.node_id)
+        new = self.netsim.topology.node(node_id)
+        demand = self.rate.rate * self.operator.cost_per_tuple
+        if self.process_id in old.processes:
+            old.unregister_process(self.process_id)
+        new.register_process(self.process_id, demand)
+        self.node_id = node_id
+
+    # -- data path ------------------------------------------------------------
+
+    def receive(self, tuple_: SensorTuple, port: int = 0) -> None:
+        """Process one tuple: run the operator, forward emissions."""
+        if self._stopped:
+            return  # in-flight stragglers after teardown are discarded
+        node = self.netsim.topology.node(self.node_id)
+        if not node.up:
+            return  # a dead node processes nothing
+        node.account_work(self.operator.cost_per_tuple)
+        emitted = self.operator.on_tuple(tuple_, port=port)
+        for out in emitted:
+            self._forward(out)
+
+    def _fire_timer(self) -> None:
+        node = self.netsim.topology.node(self.node_id)
+        if not node.up:
+            return
+        emitted = self.operator.on_timer(self.netsim.clock.now)
+        if emitted:
+            node.account_work(self.operator.cost_per_tuple * len(emitted))
+        for out in emitted:
+            self._forward(out)
+
+    def _forward(self, tuple_: SensorTuple) -> None:
+        for route in self.routes:
+            self.netsim.send(
+                source=self.node_id,
+                target=route.target.node_id,
+                payload=tuple_,
+                size_bytes=estimate_size_bytes(tuple_),
+                on_delivery=lambda payload, r=route: r.target.receive(
+                    payload, port=r.port
+                ),
+                qos=route.qos,
+            )
+
+    # -- load reporting ----------------------------------------------------------
+
+    def sample_load(self, now: float) -> float:
+        """Update the hosting node's demand from the observed tuple rate.
+
+        Returns the current demand in cost-units/second.
+        """
+        rate = self.rate.observe(now, float(self.operator.stats.tuples_in))
+        demand = rate * self.operator.cost_per_tuple
+        node = self.netsim.topology.node(self.node_id)
+        if self.process_id in node.processes:
+            node.update_demand(self.process_id, demand)
+        return demand

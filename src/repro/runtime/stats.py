@@ -1,0 +1,80 @@
+"""Metric primitives: time series and windowed rate estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with simple reductions."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            # Monitors sample monotonically; tolerate equal timestamps.
+            raise ValueError(
+                f"series {self.name!r}: time {time} precedes last point "
+                f"{self.points[-1][0]}"
+            )
+        self.points.append((time, value))
+
+    @property
+    def last(self) -> "float | None":
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> list[float]:
+        return [value for _, value in self.points]
+
+    def times(self) -> list[float]:
+        return [time for time, _ in self.points]
+
+    def mean(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(value for _, value in self.points) / len(self.points)
+
+    def maximum(self) -> float:
+        if not self.points:
+            return 0.0
+        return max(value for _, value in self.points)
+
+    def since(self, time: float) -> list[tuple[float, float]]:
+        return [(t, v) for t, v in self.points if t >= time]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class RateEstimator:
+    """Turns a monotone counter into a rate (events/second).
+
+    Call :meth:`observe` with the counter's current value at sample times;
+    :attr:`rate` is the rate over the last sample window — the "number of
+    tuples that each operation handles per second" of Figure 3.
+    """
+
+    def __init__(self) -> None:
+        self._last_count: float = 0.0
+        self._last_time: "float | None" = None
+        self.rate: float = 0.0
+
+    def observe(self, time: float, count: float) -> float:
+        if self._last_time is None:
+            self._last_time = time
+            self._last_count = count
+            self.rate = 0.0
+            return self.rate
+        dt = time - self._last_time
+        if dt > 0:
+            self.rate = max(0.0, (count - self._last_count) / dt)
+            self._last_time = time
+            self._last_count = count
+        return self.rate
+
+    def reset(self) -> None:
+        self._last_count = 0.0
+        self._last_time = None
+        self.rate = 0.0

@@ -1,0 +1,165 @@
+"""Ready-made stacks and scenario dataflows.
+
+Examples, tests and benchmarks all need the same setup: a topology, a
+network simulator, a broker network, a sensor fleet, sinks, and an
+executor.  :func:`build_stack` assembles one; :func:`osaka_scenario_flow`
+builds the exact dataflow of the paper's Section 3 scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import FilterSpec, TriggerOnSpec
+from repro.dsn.scn import ScnController
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.runtime.executor import Executor
+from repro.sensors.base import SimulatedSensor
+from repro.sensors.osaka import osaka_fleet
+from repro.sticker.feed import StickerFeed
+from repro.warehouse.loader import EventWarehouse
+
+
+@dataclass
+class Stack:
+    """Everything a running StreamLoader instance consists of."""
+
+    topology: Topology
+    netsim: NetworkSimulator
+    broker_network: BrokerNetwork
+    executor: Executor
+    warehouse: EventWarehouse
+    sticker: StickerFeed
+    fleet: list[SimulatedSensor]
+
+    @property
+    def clock(self):
+        return self.netsim.clock
+
+    def sensor(self, sensor_id: str) -> SimulatedSensor:
+        for sensor in self.fleet:
+            if sensor.sensor_id == sensor_id:
+                return sensor
+        raise KeyError(f"no sensor {sensor_id!r} in the fleet")
+
+    def run_until(self, time: float) -> int:
+        return self.clock.run_until(time)
+
+
+def build_stack(
+    topology: "Topology | None" = None,
+    hot: bool = True,
+    extended: bool = False,
+    seed: int = 7,
+    scn: "ScnController | None" = None,
+    attach_fleet: bool = True,
+    rebalance_interval: float = 300.0,
+    replicas: int = 1,
+) -> Stack:
+    """Assemble a full StreamLoader stack with the Osaka fleet.
+
+    Args:
+        topology: defaults to a 4-leaf star.
+        hot: temperature regime (True: afternoons cross 25 °C).
+        extended: include the full physical/social sensor roster.
+        seed: fleet determinism seed.
+        scn: custom controller (e.g. the centralized baseline).
+        attach_fleet: set False to publish/attach sensors yourself.
+        rebalance_interval: SCN coordination cadence in seconds.
+    """
+    topology = topology if topology is not None else Topology.star(leaf_count=4)
+    netsim = NetworkSimulator(topology=topology)
+    broker_network = BrokerNetwork(netsim=netsim)
+    warehouse = EventWarehouse()
+    sticker = StickerFeed()
+    executor = Executor(
+        netsim,
+        broker_network,
+        scn=scn or ScnController(topology),
+        warehouse=warehouse,
+        sticker=sticker,
+        rebalance_interval=rebalance_interval,
+    )
+    fleet = osaka_fleet(topology, hot=hot, extended=extended, seed=seed,
+                        replicas=replicas)
+    if attach_fleet:
+        for sensor in fleet:
+            sensor.attach(broker_network, netsim.clock)
+    return Stack(
+        topology=topology,
+        netsim=netsim,
+        broker_network=broker_network,
+        executor=executor,
+        warehouse=warehouse,
+        sticker=sticker,
+        fleet=fleet,
+    )
+
+
+def osaka_scenario_flow(
+    stack: Stack,
+    temperature_threshold: float = 25.0,
+    rain_threshold_mmh: float = 10.0,
+    check_interval: float = 300.0,
+    window: float = 3600.0,
+) -> Dataflow:
+    """The Section 3 scenario as a conceptual dataflow.
+
+    "Acquiring the data about torrential rain, tweets and traffic only when
+    the temperature identified in the last hour is above 25 °C": a Trigger
+    On over the temperature streams gates three initially-dormant sources;
+    torrential rain is filtered and warehoused; tweets go to Sticker;
+    traffic is collected.
+    """
+    gated_types = ("rain", "twitter", "traffic")
+    targets = tuple(
+        sensor.sensor_id
+        for sensor in stack.fleet
+        if sensor.metadata.sensor_type in gated_types
+    )
+
+    flow = Dataflow("osaka-scenario")
+    temp = flow.add_source(
+        SubscriptionFilter(sensor_type="temperature"), node_id="temperature"
+    )
+    rain = flow.add_source(
+        SubscriptionFilter(sensor_type="rain"), node_id="rain", initially_active=False
+    )
+    tweets = flow.add_source(
+        SubscriptionFilter(sensor_type="twitter"),
+        node_id="tweets",
+        initially_active=False,
+    )
+    traffic = flow.add_source(
+        SubscriptionFilter(sensor_type="traffic"),
+        node_id="traffic",
+        initially_active=False,
+    )
+    trigger = flow.add_operator(
+        TriggerOnSpec(
+            interval=check_interval,
+            window=window,
+            condition=f"avg_temperature > {temperature_threshold}",
+            targets=targets,
+        ),
+        node_id="hot-hour-trigger",
+    )
+    torrential = flow.add_operator(
+        FilterSpec(f"rain_rate > {rain_threshold_mmh}"), node_id="torrential"
+    )
+    warehouse_sink = flow.add_sink("warehouse", node_id="event-warehouse")
+    sticker_sink = flow.add_sink("visualization", node_id="sticker")
+    traffic_sink = flow.add_sink("collector", node_id="traffic-collector")
+
+    flow.connect(temp, trigger)
+    flow.connect(rain, torrential)
+    flow.connect(torrential, warehouse_sink)
+    flow.connect(tweets, sticker_sink)
+    flow.connect(traffic, traffic_sink)
+    for gated in (rain, tweets, traffic):
+        flow.connect_control(trigger, gated)
+    return flow

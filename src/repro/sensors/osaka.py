@@ -1,0 +1,144 @@
+"""The Osaka scenario fleet (Section 3 of the paper).
+
+"There are different sensors in the area of Osaka that produce data about
+the temperatures and levels of rains monitored in the current year.
+Moreover, tweets and traffic information from the same area in the current
+year can be acquired."
+
+:func:`osaka_fleet` builds that fleet over a given topology: temperature
+and rain stations spread over the metro area, a tweet slice, traffic
+detectors, and (optionally) the richer set — humidity, wind, pressure,
+tide, train and flight feeds — used by the wider examples.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+from repro.sensors.base import SimulatedSensor
+from repro.sensors.physical import (
+    humidity_sensor,
+    pressure_sensor,
+    rain_sensor,
+    sea_level_sensor,
+    temperature_sensor,
+    wind_sensor,
+)
+from repro.sensors.social import (
+    flight_schedule_sensor,
+    traffic_sensor,
+    train_schedule_sensor,
+    twitter_sensor,
+)
+from repro.stt.spatial import Box, Point
+
+#: Central Osaka (Umeda) and the metro bounding box.
+OSAKA_CENTER = Point(34.6937, 135.5023)
+OSAKA_AREA = Box(south=34.55, west=135.35, north=34.80, east=135.65)
+
+#: Station sites spread across the metro area (name, lat, lon).
+_SITES = [
+    ("umeda", 34.7025, 135.4959),
+    ("namba", 34.6661, 135.5000),
+    ("tennoji", 34.6466, 135.5133),
+    ("yodogawa", 34.7300, 135.4800),
+    ("sakai", 34.5733, 135.4830),
+    ("port", 34.6380, 135.4120),
+]
+
+
+def osaka_fleet(
+    topology: Topology,
+    hot: bool = True,
+    extended: bool = False,
+    seed: int = 7,
+    replicas: int = 1,
+) -> list[SimulatedSensor]:
+    """Build the scenario's sensor fleet over ``topology``.
+
+    Sensors are assigned round-robin to the topology's nodes (each node
+    "manages a bunch of sensors").  ``hot=True`` biases temperatures so the
+    1-hour mean crosses 25 °C during virtual afternoons — the regime in
+    which the scenario's Trigger On must fire; ``hot=False`` keeps the mean
+    safely below, the regime in which it must stay silent.
+
+    ``extended=True`` adds the full physical/social roster beyond the four
+    stream types the scenario itself uses.  ``replicas`` multiplies the
+    core roster (ids suffixed ``-r1``, ``-r2``, ...) for scaling studies.
+    """
+    node_ids = topology.node_ids
+    if not node_ids:
+        raise ValueError("topology has no nodes to manage sensors")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    counter = {"i": 0}
+
+    def next_node() -> str:
+        node = node_ids[counter["i"] % len(node_ids)]
+        counter["i"] += 1
+        return node
+
+    base_temp = 26.0 if hot else 16.0
+    fleet: list[SimulatedSensor] = []
+
+    for replica in range(replicas):
+        suffix = f"-r{replica}" if replica else ""
+        for name, lat, lon in _SITES[:4]:
+            fleet.append(
+                temperature_sensor(
+                    f"osaka-temp-{name}{suffix}",
+                    Point(lat, lon),
+                    next_node(),
+                    base_temp=base_temp,
+                    seed=seed,
+                )
+            )
+        for name, lat, lon in _SITES[:3]:
+            fleet.append(
+                rain_sensor(
+                    f"osaka-rain-{name}{suffix}", Point(lat, lon), next_node(),
+                    seed=seed,
+                )
+            )
+        fleet.append(
+            twitter_sensor(f"osaka-tweets{suffix}", OSAKA_AREA, next_node(),
+                           seed=seed)
+        )
+        for name, lat, lon in _SITES[:2]:
+            fleet.append(
+                traffic_sensor(
+                    f"osaka-traffic-{name}{suffix}", Point(lat, lon),
+                    next_node(), seed=seed,
+                )
+            )
+
+    if extended:
+        for name, lat, lon in _SITES[:2]:
+            fleet.append(
+                humidity_sensor(
+                    f"osaka-humidity-{name}", Point(lat, lon), next_node(), seed=seed
+                )
+            )
+        fleet.append(
+            wind_sensor("osaka-wind-umeda", Point(*_SITES[0][1:]), next_node(), seed=seed)
+        )
+        fleet.append(
+            pressure_sensor(
+                "osaka-pressure-umeda", Point(*_SITES[0][1:]), next_node(), seed=seed
+            )
+        )
+        fleet.append(
+            sea_level_sensor(
+                "osaka-tide-port", Point(*_SITES[5][1:]), next_node(), seed=seed
+            )
+        )
+        fleet.append(
+            train_schedule_sensor(
+                "osaka-trains-umeda", Point(*_SITES[0][1:]), next_node(), seed=seed
+            )
+        )
+        fleet.append(
+            flight_schedule_sensor(
+                "osaka-flights-itami", Point(34.7855, 135.4382), next_node(), seed=seed
+            )
+        )
+    return fleet

@@ -1,0 +1,267 @@
+"""Physical sensor models.
+
+The motivation section enumerates them: "temperature, humidity, wind, rain,
+pressure, level of sea water".  Each factory builds a
+:class:`SimulatedSensor` whose generator produces a physically plausible
+signal — diurnal cycles for temperature, temperature-anticorrelated
+humidity, two-state (wet/dry) bursty rain, tidal sea level, slow pressure
+walks — because the benchmarks need realistic *shape*: trigger conditions
+must actually cross their thresholds at the right times of day.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.pubsub.registry import SensorMetadata
+from repro.schema.schema import StreamSchema
+from repro.sensors.base import SimulatedSensor
+from repro.stt.spatial import Point
+
+_DAY = 86400.0
+
+
+def _diurnal(now: float, base: float, amplitude: float) -> float:
+    """Sinusoid peaking at 14:00 virtual time, troughing at 02:00."""
+    phase = 2.0 * math.pi * ((now % _DAY) / _DAY - 14.0 / 24.0)
+    return base + amplitude * math.cos(phase)
+
+
+def temperature_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 60.0,
+    base_temp: float = 22.0,
+    amplitude: float = 6.0,
+    noise: float = 0.4,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Air temperature in °C with a diurnal cycle.
+
+    Defaults cross the paper's 25 °C trigger threshold during virtual
+    afternoons (base 22 ± 6), which is what the Osaka scenario needs.
+    """
+    schema = StreamSchema.build(
+        [("temperature", "float", "celsius"), ("station", "string")],
+        temporal="second",
+        spatial="point",
+        themes=("weather/temperature",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="temperature",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description=f"air temperature station at ({location.lat}, {location.lon})",
+    )
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        value = _diurnal(now, base_temp, amplitude) + rng.normal(0.0, noise)
+        return {"temperature": round(float(value), 2), "station": sensor_id}
+
+    return SimulatedSensor(metadata, generate, seed=seed)
+
+
+def humidity_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 60.0,
+    base_humidity: float = 0.65,
+    amplitude: float = 0.15,
+    noise: float = 0.03,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Relative humidity (fraction), anticorrelated with the diurnal cycle."""
+    schema = StreamSchema.build(
+        [("humidity", "float", "fraction"), ("station", "string")],
+        temporal="second",
+        spatial="point",
+        themes=("weather/humidity",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="humidity",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description="relative humidity probe",
+    )
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        # Humid at night, drier at mid-afternoon.
+        value = base_humidity - (_diurnal(now, 0.0, amplitude)) + rng.normal(0.0, noise)
+        return {
+            "humidity": round(float(min(1.0, max(0.0, value))), 3),
+            "station": sensor_id,
+        }
+
+    return SimulatedSensor(metadata, generate, seed=seed)
+
+
+def rain_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 120.0,
+    wet_probability: float = 0.08,
+    stay_wet: float = 0.85,
+    heavy_rate_mmh: float = 25.0,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Rain gauge (mm/h) with bursty two-state (dry/wet) behaviour.
+
+    The wet state persists (``stay_wet``), producing the multi-reading
+    torrential episodes the scenario's "torrential rain" stream needs.
+    """
+    schema = StreamSchema.build(
+        [("rain_rate", "float", "mmh"), ("station", "string")],
+        temporal="second",
+        spatial="point",
+        themes=("weather/rain",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="rain",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description="tipping-bucket rain gauge",
+    )
+    state = {"wet": False}
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        if state["wet"]:
+            state["wet"] = rng.random() < stay_wet
+        else:
+            state["wet"] = rng.random() < wet_probability
+        if not state["wet"]:
+            rate = 0.0
+        else:
+            # Gamma-distributed intensity; occasionally torrential.
+            rate = float(rng.gamma(shape=2.0, scale=heavy_rate_mmh / 2.0))
+        return {"rain_rate": round(rate, 2), "station": sensor_id}
+
+    return SimulatedSensor(metadata, generate, seed=seed)
+
+
+def wind_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 60.0,
+    base_speed: float = 3.0,
+    gust_probability: float = 0.05,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Wind speed (m/s) and direction (degrees), with occasional gusts."""
+    schema = StreamSchema.build(
+        [
+            ("wind_speed", "float", "mps"),
+            ("wind_direction", "float"),
+            ("station", "string"),
+        ],
+        temporal="second",
+        spatial="point",
+        themes=("weather/wind",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="wind",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description="anemometer",
+    )
+    state = {"direction": 225.0}
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        state["direction"] = (state["direction"] + rng.normal(0.0, 10.0)) % 360.0
+        speed = max(0.0, rng.normal(base_speed, 1.0))
+        if rng.random() < gust_probability:
+            speed += float(rng.gamma(2.0, 4.0))
+        return {
+            "wind_speed": round(float(speed), 2),
+            "wind_direction": round(state["direction"], 1),
+            "station": sensor_id,
+        }
+
+    return SimulatedSensor(metadata, generate, seed=seed)
+
+
+def pressure_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 300.0,
+    base_pressure: float = 1013.25,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Barometric pressure (hPa) following a slow bounded random walk."""
+    schema = StreamSchema.build(
+        [("pressure", "float", "hectopascal"), ("station", "string")],
+        temporal="second",
+        spatial="point",
+        themes=("weather/pressure",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="pressure",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description="barometer",
+    )
+    state = {"value": base_pressure}
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        state["value"] += rng.normal(0.0, 0.3)
+        # Mean-revert to keep the walk inside meteorological bounds.
+        state["value"] += 0.01 * (base_pressure - state["value"])
+        return {"pressure": round(state["value"], 2), "station": sensor_id}
+
+    return SimulatedSensor(metadata, generate, seed=seed)
+
+
+def sea_level_sensor(
+    sensor_id: str,
+    location: Point,
+    node_id: str,
+    frequency: float = 1.0 / 300.0,
+    mean_level_m: float = 1.2,
+    tidal_amplitude_m: float = 0.8,
+    seed: int = 7,
+) -> SimulatedSensor:
+    """Sea water level (m) with the M2 semidiurnal tide (12.42 h period)."""
+    schema = StreamSchema.build(
+        [("water_level", "float", "meter"), ("station", "string")],
+        temporal="second",
+        spatial="point",
+        themes=("sea/water-level",),
+    )
+    metadata = SensorMetadata(
+        sensor_id=sensor_id,
+        sensor_type="sea-level",
+        schema=schema,
+        frequency=frequency,
+        location=location,
+        node_id=node_id,
+        description="tide gauge",
+    )
+    tide_period = 12.42 * 3600.0
+
+    def generate(now: float, rng: np.random.Generator) -> dict:
+        tide = tidal_amplitude_m * math.sin(2.0 * math.pi * now / tide_period)
+        level = mean_level_m + tide + rng.normal(0.0, 0.03)
+        return {"water_level": round(float(level), 3), "station": sensor_id}
+
+    return SimulatedSensor(metadata, generate, seed=seed)

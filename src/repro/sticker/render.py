@@ -1,0 +1,63 @@
+"""ASCII renderings of Sticker feed contents (a map front end stand-in)."""
+
+from __future__ import annotations
+
+from repro.sticker.feed import StickerFeed
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_series(
+    feed: StickerFeed, theme: str, attribute: "str | None" = None, width: int = 50
+) -> str:
+    """A sparkline-style trend of one theme over time.
+
+    Plots counts, or the mean of ``attribute`` when given.
+    """
+    series = feed.series(theme)
+    if not series:
+        return f"(no data for theme {theme!r})"
+    values = [
+        point.count if attribute is None else point.mean(attribute)
+        for point in series
+    ]
+    finite = [v for v in values if v == v]  # drop NaNs
+    if not finite:
+        return f"(no numeric data for {attribute!r} under theme {theme!r})"
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    lines = [f"trend {theme!r}" + (f" mean({attribute})" if attribute else " count")]
+    for point, value in zip(series, values):
+        if value != value:
+            bar = "(nan)"
+        else:
+            bar = "#" * max(1, int((value - low) / span * width))
+        label = f"{value:10.2f}" if value == value else "       nan"
+        lines.append(f"  t={point.bucket_start:>10.0f} {label} {bar}")
+    return "\n".join(lines)
+
+
+def render_map(feed: StickerFeed, theme: str, bucket_start: "float | None" = None) -> str:
+    """An ASCII heat map of one theme's counts over the binned cells."""
+    bins = [b for b in feed.bins() if b.theme == theme]
+    if bucket_start is not None:
+        bins = [b for b in bins if b.bucket_start == bucket_start]
+    if not bins:
+        return f"(no cells for theme {theme!r})"
+    rows = sorted({b.row for b in bins})
+    cols = sorted({b.col for b in bins})
+    peak = max(b.count for b in bins) or 1
+    by_cell: dict[tuple[int, int], int] = {}
+    for b in bins:
+        by_cell[(b.row, b.col)] = by_cell.get((b.row, b.col), 0) + b.count
+    lines = [f"map {theme!r} (peak={peak})"]
+    # Northern rows first, like a map.
+    for row in reversed(rows):
+        cells = []
+        for col in cols:
+            count = by_cell.get((row, col), 0)
+            shade = _SHADES[min(len(_SHADES) - 1, int(count / peak * (len(_SHADES) - 1)))]
+            cells.append(shade)
+        lines.append(f"  {row:>6} |{''.join(cells)}|")
+    lines.append(f"         cols {cols[0]}..{cols[-1]}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Filter — σ(s, cond): drop tuples that do not satisfy the condition."""
+
+from __future__ import annotations
+
+from repro.expr.eval import CompiledExpression, compile_expression
+from repro.streams.base import NonBlockingOperator
+from repro.streams.tuple import SensorTuple
+
+
+class FilterOperator(NonBlockingOperator):
+    """Table 1: *Filter out tuples in s that do not adhere to cond*.
+
+    >>> f = FilterOperator("temperature > 24")
+    >>> # tuples whose payload fails the condition are not emitted
+    """
+
+    def __init__(self, condition: "str | CompiledExpression", name: str = "") -> None:
+        super().__init__(name or "filter")
+        if isinstance(condition, str):
+            condition = compile_expression(condition)
+        self.condition = condition
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        if self.condition.evaluate_bool(tuple_.values()):
+            return [tuple_]
+        return []
+
+    def describe(self) -> str:
+        return f"σ(s, {self.condition.source})"

@@ -1,0 +1,152 @@
+"""Join — s1 ⋈ᵗ_pred s2: windowed two-stream join.
+
+Table 1: *"Every t time intervals, s1 and s2 are joined according to the
+join predicate."*
+
+Blocking, two input ports.  Both sides are cached; every ``t`` seconds all
+cross pairs satisfying the predicate are emitted and both caches are
+drained (tumbling windows).  The predicate addresses the two sides with
+qualifiers — by default ``left``/``right`` (``left.city == right.city``).
+
+Merged payloads follow :func:`repro.schema.infer.join_schema`: colliding
+attribute names get the qualifier prefix, everything else keeps its name.
+The output stamp takes the later of the pair's times at the coarser common
+granularities, the pair's bounding location, and the union of themes —
+the STT consistency rules for composition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataflowError
+from repro.expr.eval import CompiledExpression, compile_expression
+from repro.streams.base import BlockingOperator
+from repro.streams.tuple import SensorTuple
+from repro.streams.windows import TupleCache
+from repro.stt.event import SttStamp
+from repro.stt.granularity import common_spatial, common_temporal
+from repro.stt.spatial import Box, representative_point
+
+
+def merge_payloads(
+    left: dict, right: dict, left_prefix: str, right_prefix: str
+) -> dict:
+    """Merge two payloads with collision prefixing (join output rule)."""
+    collisions = set(left) & set(right)
+    merged: dict[str, object] = {}
+    for name, value in left.items():
+        merged[f"{left_prefix}_{name}" if name in collisions else name] = value
+    for name, value in right.items():
+        merged[f"{right_prefix}_{name}" if name in collisions else name] = value
+    return merged
+
+
+class JoinOperator(BlockingOperator):
+    """Windowed theta-join of two streams.
+
+    >>> op = JoinOperator(
+    ...     interval=60.0,
+    ...     predicate="left.station == right.station",
+    ... )
+    >>> # feed port 0 (left) and port 1 (right), then op.on_timer(now)
+    """
+
+    input_ports = 2
+    cost_per_tuple = 2.0  # caching + pairwise predicate evaluation
+
+    def __init__(
+        self,
+        interval: float,
+        predicate: "str | CompiledExpression",
+        left_prefix: str = "left",
+        right_prefix: str = "right",
+        name: str = "",
+        max_cache: int = 100_000,
+    ) -> None:
+        super().__init__(interval, name or "join")
+        if left_prefix == right_prefix:
+            raise DataflowError("join prefixes must differ")
+        if isinstance(predicate, str):
+            predicate = compile_expression(predicate)
+        self.predicate = predicate
+        self.left_prefix = left_prefix
+        self.right_prefix = right_prefix
+        self.left_cache = TupleCache(max_tuples=max_cache)
+        self.right_cache = TupleCache(max_tuples=max_cache)
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        if port == 0:
+            self.left_cache.add(tuple_)
+        else:
+            self.right_cache.add(tuple_)
+        return []
+
+    def _flush(self, now: float) -> list[SensorTuple]:
+        left_window = self.left_cache.drain()
+        right_window = self.right_cache.drain()
+        if not left_window or not right_window:
+            return []
+        out: list[SensorTuple] = []
+        seq = 0
+        for lt in left_window:
+            l_values = lt.values()
+            for rt in right_window:
+                kwargs = {
+                    self.left_prefix: l_values,
+                    self.right_prefix: rt.values(),
+                }
+                try:
+                    matched = self.predicate.evaluate_bool(None, **kwargs)
+                except Exception:
+                    self.stats.errors += 1
+                    continue
+                if not matched:
+                    continue
+                out.append(self._merge(lt, rt, now, seq))
+                seq += 1
+        return out
+
+    def _merge(
+        self, lt: SensorTuple, rt: SensorTuple, now: float, seq: int
+    ) -> SensorTuple:
+        payload = merge_payloads(
+            lt.values(), rt.values(), self.left_prefix, self.right_prefix
+        )
+        l_point = representative_point(lt.stamp.location)
+        r_point = representative_point(rt.stamp.location)
+        if l_point == r_point:
+            location = lt.stamp.location
+        else:
+            location = Box(
+                south=min(l_point.lat, r_point.lat),
+                west=min(l_point.lon, r_point.lon),
+                north=max(l_point.lat, r_point.lat),
+                east=max(l_point.lon, r_point.lon),
+            )
+        themes = lt.stamp.themes + tuple(
+            t for t in rt.stamp.themes if t not in lt.stamp.themes
+        )
+        stamp = SttStamp(
+            time=max(lt.stamp.time, rt.stamp.time),
+            location=location,
+            temporal_granularity=common_temporal(
+                lt.stamp.temporal_granularity, rt.stamp.temporal_granularity
+            ),
+            spatial_granularity=common_spatial(
+                lt.stamp.spatial_granularity, rt.stamp.spatial_granularity
+            ),
+            themes=themes,
+        )
+        return SensorTuple(
+            payload=payload,
+            stamp=stamp,
+            source=f"{self.name}({lt.source}⋈{rt.source})",
+            seq=seq,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.left_cache.clear()
+        self.right_cache.clear()
+
+    def describe(self) -> str:
+        return f"s1 ⋈{self.interval}_{{{self.predicate.source}}} s2"

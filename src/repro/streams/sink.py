@@ -1,0 +1,64 @@
+"""Terminal consumers for streams: collection, callbacks, counting.
+
+Sinks share the operator interface so the executor can place them on nodes
+like any other dataflow element; they simply never emit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.streams.base import NonBlockingOperator
+from repro.streams.tuple import SensorTuple
+
+
+class ListSink(NonBlockingOperator):
+    """Collect every received tuple into ``received`` (tests, samples)."""
+
+    cost_per_tuple = 0.2
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name or "list-sink")
+        self.received: list[SensorTuple] = []
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        self.received.append(tuple_)
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self.received = []
+
+
+class CallbackSink(NonBlockingOperator):
+    """Hand every tuple to a callback (warehouse loader, Sticker feed)."""
+
+    cost_per_tuple = 0.5
+
+    def __init__(
+        self, callback: Callable[[SensorTuple], None], name: str = ""
+    ) -> None:
+        super().__init__(name or "callback-sink")
+        self.callback = callback
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        self.callback(tuple_)
+        return []
+
+
+class CountingSink(NonBlockingOperator):
+    """Count tuples without retaining them (throughput benchmarks)."""
+
+    cost_per_tuple = 0.1
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name or "counting-sink")
+        self.count = 0
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        self.count += 1
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self.count = 0

@@ -1,0 +1,105 @@
+"""Transform — ▷trans s: apply a transformation function to every tuple.
+
+The paper's requirement list for the transform family: "(1) changing the
+unit of measure (e.g. from yards to meters) or geographical coordinates
+(from one standard to another one); ... (3) checking that data conform to
+given validation rules (e.g. dates conforming to given patterns)".
+
+:class:`TransformOperator` covers (1) declaratively: a set of attribute
+assignments in the condition language (each can overwrite an existing
+attribute or be combined with renames/projection).  Unit and coordinate
+conversions are expression built-ins (``convert``, see
+:mod:`repro.expr.functions`).  :class:`ValidateOperator` covers (3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataflowError
+from repro.expr.eval import CompiledExpression, compile_expression
+from repro.streams.base import NonBlockingOperator
+from repro.streams.tuple import SensorTuple
+
+
+class TransformOperator(NonBlockingOperator):
+    """Rewrite tuple payloads: assignments, then renames, then projection.
+
+    Args:
+        assignments: attribute -> expression over the *input* payload.
+            All expressions see the original values (no chaining within one
+            tuple), so assignment order never matters.
+        rename: old name -> new name, applied after assignments.
+        project: if given, keep only these attributes (post-rename names).
+
+    >>> op = TransformOperator({"length_m": "convert(length_yd, 'yard', 'meter')"})
+    """
+
+    def __init__(
+        self,
+        assignments: "dict[str, str | CompiledExpression] | None" = None,
+        rename: "dict[str, str] | None" = None,
+        project: "list[str] | None" = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "transform")
+        if not assignments and not rename and not project:
+            raise DataflowError(
+                "transform needs at least one of assignments/rename/project"
+            )
+        self.assignments = {
+            attr: compile_expression(expr) if isinstance(expr, str) else expr
+            for attr, expr in (assignments or {}).items()
+        }
+        self.rename = dict(rename or {})
+        self.project = list(project) if project is not None else None
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        values = tuple_.values()
+        updated = dict(values)
+        for attr, expr in self.assignments.items():
+            updated[attr] = expr.evaluate(values)
+        if self.rename:
+            updated = {
+                self.rename.get(name, name): value for name, value in updated.items()
+            }
+        if self.project is not None:
+            updated = {name: updated[name] for name in self.project}
+        return [tuple_.with_payload(updated)]
+
+    def describe(self) -> str:
+        parts = [f"{attr}:={expr.source}" for attr, expr in self.assignments.items()]
+        parts += [f"{old}->{new}" for old, new in self.rename.items()]
+        if self.project is not None:
+            parts.append(f"project[{','.join(self.project)}]")
+        return f"▷trans({'; '.join(parts)})"
+
+
+class ValidateOperator(NonBlockingOperator):
+    """Check tuples against validation rules; quarantine violators.
+
+    Each rule is a boolean expression; a tuple failing any rule is dropped
+    and counted in ``stats.errors`` (the error-quarantine convention), so a
+    bad reading never propagates into the warehouse.
+    """
+
+    def __init__(
+        self, rules: "list[str | CompiledExpression]", name: str = ""
+    ) -> None:
+        super().__init__(name or "validate")
+        if not rules:
+            raise DataflowError("validate needs at least one rule")
+        self.rules = [
+            compile_expression(rule) if isinstance(rule, str) else rule
+            for rule in rules
+        ]
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        values = tuple_.values()
+        for rule in self.rules:
+            if not rule.evaluate_bool(values):
+                self.stats.errors += 1
+                return []
+        return [tuple_]
+
+    def describe(self) -> str:
+        rules = " ∧ ".join(rule.source for rule in self.rules)
+        return f"validate({rules})"

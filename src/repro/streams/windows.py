@@ -1,0 +1,72 @@
+"""Tuple caches for blocking operators.
+
+A :class:`TupleCache` is the "cache of tuples that are processed every t
+time intervals".  It supports the two policies blocking operators need:
+
+- *tumbling*: ``drain()`` empties the cache (aggregation, join);
+- *sliding*: ``prune(before)`` evicts by timestamp, so a trigger can check
+  a condition over "the last hour" while firing every few minutes.
+
+An optional ``max_tuples`` bound protects node memory; when full, the
+oldest tuples are evicted and counted, which the monitor reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import StreamLoaderError
+from repro.streams.tuple import SensorTuple
+
+
+class TupleCache:
+    """Bounded FIFO cache of tuples keyed by arrival order."""
+
+    def __init__(self, max_tuples: int = 100_000) -> None:
+        if max_tuples <= 0:
+            raise StreamLoaderError(f"max_tuples must be positive: {max_tuples}")
+        self._buffer: deque[SensorTuple] = deque()
+        self._max = max_tuples
+        self.evicted = 0
+
+    def add(self, tuple_: SensorTuple) -> None:
+        if len(self._buffer) >= self._max:
+            self._buffer.popleft()
+            self.evicted += 1
+        self._buffer.append(tuple_)
+
+    def drain(self) -> list[SensorTuple]:
+        """Return and clear the whole cache (tumbling windows)."""
+        drained = list(self._buffer)
+        self._buffer.clear()
+        return drained
+
+    def prune(self, before: float) -> int:
+        """Evict tuples stamped strictly earlier than ``before``.
+
+        Returns the number evicted.  Assumes approximately time-ordered
+        arrival (true for a single upstream stream); stragglers older than
+        the head are still evicted correctly because the scan stops at the
+        first retained tuple, matching the paper's fresh-data orientation.
+        """
+        pruned = 0
+        while self._buffer and self._buffer[0].stamp.time < before:
+            self._buffer.popleft()
+            pruned += 1
+        return pruned
+
+    def snapshot(self) -> list[SensorTuple]:
+        """Copy of the cache contents (sliding windows, no eviction)."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __bool__(self) -> bool:
+        return bool(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)

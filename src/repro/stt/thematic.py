@@ -1,0 +1,151 @@
+"""Thematic dimension of the STT model.
+
+Every sensor reading carries one or more *themes* ("data about traffic jams
+vs data about pollutions").  Themes are organised in a taxonomy (a forest):
+``weather/rain`` is a sub-theme of ``weather``, so a subscription to
+``weather`` matches a ``weather/rain`` stream.  Theme matching drives sensor
+discovery and the thematic consistency checks of dataflow composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SttError
+
+
+@dataclass(frozen=True)
+class Theme:
+    """A node in the thematic taxonomy, addressed by its slash path.
+
+    ``Theme("weather/rain")`` has parent ``Theme("weather")``.
+    """
+
+    path: str
+
+    def __post_init__(self) -> None:
+        cleaned = self.path.strip().strip("/").lower()
+        if not cleaned:
+            raise SttError("theme path must be non-empty")
+        for part in cleaned.split("/"):
+            if not part or not all(c.isalnum() or c in "-_" for c in part):
+                raise SttError(f"invalid theme path segment {part!r} in {self.path!r}")
+        object.__setattr__(self, "path", cleaned)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.path.split("/"))
+
+    @property
+    def parent(self) -> "Theme | None":
+        parts = self.parts
+        if len(parts) == 1:
+            return None
+        return Theme("/".join(parts[:-1]))
+
+    @property
+    def root(self) -> "Theme":
+        return Theme(self.parts[0])
+
+    def is_subtheme_of(self, other: "Theme | str") -> bool:
+        """True when ``self`` equals or refines ``other``."""
+        other_theme = other if isinstance(other, Theme) else Theme(other)
+        return (
+            self.path == other_theme.path
+            or self.path.startswith(other_theme.path + "/")
+        )
+
+    def matches(self, other: "Theme | str") -> bool:
+        """Symmetric thematic compatibility: one refines the other."""
+        other_theme = other if isinstance(other, Theme) else Theme(other)
+        return self.is_subtheme_of(other_theme) or other_theme.is_subtheme_of(self)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.path
+
+
+class ThemeTaxonomy:
+    """A registered forest of themes, used to validate sensor metadata.
+
+    Registration is optional for matching (any syntactically valid theme can
+    be compared to another) but a taxonomy lets the designer reject typos:
+    a sensor declaring ``wheather/rain`` fails validation against the
+    default taxonomy.
+    """
+
+    def __init__(self, themes: "list[str | Theme] | None" = None) -> None:
+        self._themes: set[str] = set()
+        for theme in themes or []:
+            self.register(theme)
+
+    def register(self, theme: "str | Theme") -> Theme:
+        """Register a theme and all its ancestors; returns the theme."""
+        resolved = theme if isinstance(theme, Theme) else Theme(theme)
+        node: Theme | None = resolved
+        while node is not None:
+            self._themes.add(node.path)
+            node = node.parent
+        return resolved
+
+    def known(self, theme: "str | Theme") -> bool:
+        resolved = theme if isinstance(theme, Theme) else Theme(theme)
+        return resolved.path in self._themes
+
+    def validate(self, theme: "str | Theme") -> Theme:
+        resolved = theme if isinstance(theme, Theme) else Theme(theme)
+        if not self.known(resolved):
+            raise SttError(
+                f"theme {resolved.path!r} is not part of the taxonomy; "
+                f"register it first or fix the spelling"
+            )
+        return resolved
+
+    def children(self, theme: "str | Theme") -> list[Theme]:
+        resolved = theme if isinstance(theme, Theme) else Theme(theme)
+        prefix = resolved.path + "/"
+        depth = len(resolved.parts) + 1
+        return sorted(
+            (
+                Theme(path)
+                for path in self._themes
+                if path.startswith(prefix) and len(path.split("/")) == depth
+            ),
+            key=lambda t: t.path,
+        )
+
+    def roots(self) -> list[Theme]:
+        return sorted(
+            (Theme(path) for path in self._themes if "/" not in path),
+            key=lambda t: t.path,
+        )
+
+    def __len__(self) -> int:
+        return len(self._themes)
+
+    def __contains__(self, theme: object) -> bool:
+        if isinstance(theme, (str, Theme)):
+            return self.known(theme)
+        return False
+
+
+#: Taxonomy covering the sensor families named in the paper's motivation:
+#: physical phenomena plus social sensors.
+DEFAULT_TAXONOMY = ThemeTaxonomy(
+    [
+        "weather/temperature",
+        "weather/humidity",
+        "weather/rain",
+        "weather/wind",
+        "weather/pressure",
+        "weather/apparent-temperature",
+        "sea/water-level",
+        "mobility/traffic",
+        "mobility/train-schedule",
+        "mobility/flight-schedule",
+        "social/twitter",
+        "pollution/air",
+        "disaster/flood",
+        "disaster/storm",
+        "disaster/extreme-temperature",
+    ]
+)

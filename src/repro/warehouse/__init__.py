@@ -1,0 +1,28 @@
+"""Event Data Warehouse (the paper's reference [6], reimplemented).
+
+"The acquired data can be stored in a data-warehouse ... for further
+analysis."  This is a multidimensional event store: facts are STT events
+(measures extracted from tuple payloads) indexed by conformed time, space,
+theme and source dimensions at explicit granularities, supporting the
+roll-up queries an analyst would run after an emergency.
+"""
+
+from repro.warehouse.dimensions import (
+    TimeDimension,
+    SpaceDimension,
+    ThemeDimension,
+    SourceDimension,
+)
+from repro.warehouse.facts import EventFact
+from repro.warehouse.loader import EventWarehouse
+from repro.warehouse.query import WarehouseQuery
+
+__all__ = [
+    "TimeDimension",
+    "SpaceDimension",
+    "ThemeDimension",
+    "SourceDimension",
+    "EventFact",
+    "EventWarehouse",
+    "WarehouseQuery",
+]

@@ -1,0 +1,29 @@
+"""Fact records of the event warehouse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EventFact:
+    """One warehoused event.
+
+    Attributes:
+        fact_id: dense id in load order.
+        time_key / space_key / source_key: dimension surrogate keys.
+        theme_keys: keys of every theme stamped on the event.
+        measures: numeric payload attributes (the analysable values).
+        attributes: the non-numeric payload attributes, kept verbatim.
+        event_time: raw (un-aligned) virtual time of the reading, for
+            precise time-range filters.
+    """
+
+    fact_id: int
+    time_key: int
+    space_key: int
+    source_key: int
+    theme_keys: tuple[int, ...]
+    measures: dict[str, float] = field(default_factory=dict)
+    attributes: dict[str, object] = field(default_factory=dict)
+    event_time: float = 0.0

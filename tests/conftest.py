@@ -1,0 +1,79 @@
+"""Shared fixtures for the StreamLoader test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork
+from repro.schema.schema import StreamSchema
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+
+@pytest.fixture
+def weather_schema() -> StreamSchema:
+    """The temperature/humidity schema used throughout the unit tests."""
+    return StreamSchema.build(
+        [
+            ("temperature", "float", "celsius"),
+            ("humidity", "float", "fraction"),
+            ("station", "string"),
+        ],
+        temporal="second",
+        spatial="point",
+        themes=("weather/temperature",),
+    )
+
+
+@pytest.fixture
+def make_tuple():
+    """Factory for weather tuples: make_tuple(i, temperature=..., ...)."""
+
+    def factory(
+        seq: int = 0,
+        temperature: float = 20.0,
+        humidity: float = 0.6,
+        station: str = "station-1",
+        time: "float | None" = None,
+        lat: float = 34.69,
+        lon: float = 135.50,
+        themes: tuple = ("weather/temperature",),
+        source: str = "sensor-1",
+    ) -> SensorTuple:
+        return SensorTuple(
+            payload={
+                "temperature": temperature,
+                "humidity": humidity,
+                "station": station,
+            },
+            stamp=SttStamp(
+                time=float(seq) if time is None else time,
+                location=Point(lat, lon),
+                themes=themes,
+            ),
+            source=source,
+            seq=seq,
+        )
+
+    return factory
+
+
+@pytest.fixture
+def star_netsim() -> NetworkSimulator:
+    """A 3-leaf star network simulator."""
+    return NetworkSimulator(topology=Topology.star(leaf_count=3))
+
+
+@pytest.fixture
+def broker_net(star_netsim) -> BrokerNetwork:
+    """A broker network over the star simulator."""
+    return BrokerNetwork(netsim=star_netsim)
+
+
+@pytest.fixture
+def local_broker_net() -> BrokerNetwork:
+    """An in-process broker network (immediate delivery, no simulator)."""
+    return BrokerNetwork()

@@ -1,0 +1,83 @@
+"""Integration test: workload-aware migration under overload.
+
+Figure 3's monitor shows "which node is in charge of executing an
+operation and when the assignment changes" — this test drives the whole
+loop: overload -> SCN decision -> process move -> monitor log -> stream
+continuity.
+"""
+
+import pytest
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import FilterSpec
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.scenario import build_stack
+
+
+@pytest.fixture
+def deployed():
+    stack = build_stack(rebalance_interval=120.0)
+    flow = Dataflow("migratory")
+    src = flow.add_source(SubscriptionFilter(sensor_type="temperature"),
+                          node_id="src")
+    keep = flow.add_operator(FilterSpec("temperature > -100"), node_id="keep")
+    out = flow.add_sink("collector", node_id="out")
+    flow.connect(src, keep)
+    flow.connect(keep, out)
+    deployment = stack.executor.deploy(flow)
+    stack.run_until(600.0)  # establish live rates
+    return stack, deployment
+
+
+class TestMigrationLoop:
+    def test_full_cycle(self, deployed):
+        stack, deployment = deployed
+        origin = deployment.process("keep").node_id
+
+        # Saturate the hosting node with an external workload.
+        stack.topology.node(origin).register_process("external-hog",
+                                                     demand=5000.0)
+        stack.run_until(1800.0)
+
+        # The SCN moved the process and the monitor logged it.
+        moved = deployment.process("keep").node_id
+        changes = [c for c in stack.executor.monitor.assignment_log
+                   if c.process_id == "migratory:keep"]
+        assert changes
+        assert changes[0].from_node == origin
+        assert moved == changes[-1].to_node
+        assert "utilization" in changes[0].reason
+
+    def test_stream_survives_migration(self, deployed):
+        stack, deployment = deployed
+        origin = deployment.process("keep").node_id
+        stack.topology.node(origin).register_process("external-hog",
+                                                     demand=5000.0)
+        stack.run_until(1800.0)
+        count_at_move = len(deployment.collected("out"))
+        stack.run_until(5400.0)
+        assert len(deployment.collected("out")) > count_at_move
+
+    def test_monitor_flags_suffering_node_before_move(self, deployed):
+        stack, deployment = deployed
+        origin = deployment.process("keep").node_id
+        stack.topology.node(origin).register_process("external-hog",
+                                                     demand=5000.0)
+        assert origin in stack.executor.monitor.suffering_nodes()
+
+    def test_placement_map_updated(self, deployed):
+        stack, deployment = deployed
+        origin = deployment.process("keep").node_id
+        stack.topology.node(origin).register_process("external-hog",
+                                                     demand=5000.0)
+        stack.run_until(1800.0)
+        assert deployment.placements["keep"].node_id \
+            == deployment.process("keep").node_id
+
+    def test_old_node_released(self, deployed):
+        stack, deployment = deployed
+        origin = deployment.process("keep").node_id
+        stack.topology.node(origin).register_process("external-hog",
+                                                     demand=5000.0)
+        stack.run_until(1800.0)
+        assert "migratory:keep" not in stack.topology.node(origin).processes

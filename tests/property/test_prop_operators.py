@@ -1,0 +1,195 @@
+"""Property-based tests for the Table 1 operator algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.aggregate import AggregationOperator
+from repro.streams.cull import CullTimeOperator
+from repro.streams.filter import FilterOperator
+from repro.streams.join import JoinOperator
+from repro.streams.transform import TransformOperator
+from repro.streams.tuple import SensorTuple
+from repro.streams.virtual import VirtualPropertyOperator
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+temps = st.floats(min_value=-40.0, max_value=50.0, allow_nan=False)
+batches = st.lists(temps, min_size=0, max_size=40)
+
+
+def tuples_from(values, start_time=0.0):
+    return [
+        SensorTuple(
+            payload={"temperature": value, "station": f"s{i % 3}"},
+            stamp=SttStamp(time=start_time + i, location=Point(34.69, 135.50)),
+            source="gen",
+            seq=i,
+        )
+        for i, value in enumerate(values)
+    ]
+
+
+class TestFilterProperties:
+    @given(batches)
+    def test_partition(self, values):
+        """Filter(c) + Filter(not c) exactly partitions the stream."""
+        keep = FilterOperator("temperature > 20")
+        drop = FilterOperator("not (temperature > 20)")
+        stream = tuples_from(values)
+        kept = [t for tup in stream for t in keep.on_tuple(tup)]
+        dropped = [t for tup in stream for t in drop.on_tuple(tup)]
+        assert len(kept) + len(dropped) == len(stream)
+        assert all(t["temperature"] > 20 for t in kept)
+        assert all(t["temperature"] <= 20 for t in dropped)
+
+    @given(batches)
+    def test_idempotent(self, values):
+        """Filtering an already-filtered stream changes nothing."""
+        first = FilterOperator("temperature > 20")
+        second = FilterOperator("temperature > 20")
+        once = [t for tup in tuples_from(values) for t in first.on_tuple(tup)]
+        twice = [t for tup in once for t in second.on_tuple(tup)]
+        assert twice == once
+
+    @given(batches)
+    def test_stronger_condition_subset(self, values):
+        weak = FilterOperator("temperature > 10")
+        strong = FilterOperator("temperature > 30")
+        stream = tuples_from(values)
+        weak_out = {t.seq for tup in stream for t in weak.on_tuple(tup)}
+        strong_out = {t.seq for tup in stream for t in strong.on_tuple(tup)}
+        assert strong_out <= weak_out
+
+
+class TestAggregationProperties:
+    @given(batches.filter(lambda v: len(v) > 0))
+    def test_matches_numpy(self, values):
+        array = np.asarray(values, dtype=float)
+        expectations = {
+            "AVG": array.mean(),
+            "SUM": array.sum(),
+            "MIN": array.min(),
+            "MAX": array.max(),
+        }
+        for fn, expected in expectations.items():
+            op = AggregationOperator(interval=1000.0,
+                                     attributes=["temperature"], function=fn)
+            for tup in tuples_from(values):
+                op.on_tuple(tup)
+            out = op.on_timer(1000.0)
+            assert np.isclose(out[0][f"{fn.lower()}_temperature"], expected)
+
+    @given(batches)
+    def test_count_equals_length(self, values):
+        op = AggregationOperator(interval=1000.0, attributes=["temperature"],
+                                 function="COUNT")
+        for tup in tuples_from(values):
+            op.on_tuple(tup)
+        out = op.on_timer(1000.0)
+        if not values:
+            assert out == []
+        else:
+            assert out[0]["count_temperature"] == len(values)
+
+    @given(batches.filter(lambda v: len(v) >= 2))
+    def test_min_le_avg_le_max(self, values):
+        results = {}
+        for fn in ("MIN", "AVG", "MAX"):
+            op = AggregationOperator(interval=1000.0,
+                                     attributes=["temperature"], function=fn)
+            for tup in tuples_from(values):
+                op.on_tuple(tup)
+            results[fn] = op.on_timer(1000.0)[0][f"{fn.lower()}_temperature"]
+        assert results["MIN"] <= results["AVG"] + 1e-9
+        assert results["AVG"] <= results["MAX"] + 1e-9
+
+
+class TestCullProperties:
+    @given(batches, st.integers(min_value=1, max_value=10))
+    def test_keeps_exactly_one_in_r_inside(self, values, rate):
+        op = CullTimeOperator(rate=rate, start=0.0, end=1e9)
+        kept = sum(len(op.on_tuple(tup)) for tup in tuples_from(values))
+        assert kept == len(values) // rate
+
+    @given(batches, st.integers(min_value=1, max_value=10))
+    def test_outside_region_untouched(self, values, rate):
+        op = CullTimeOperator(rate=rate, start=1e8, end=2e8)
+        kept = sum(len(op.on_tuple(tup)) for tup in tuples_from(values))
+        assert kept == len(values)
+
+
+class TestTransformProperties:
+    @given(batches)
+    def test_unit_conversion_round_trip(self, values):
+        to_f = TransformOperator(
+            {"temperature": "convert(temperature, 'celsius', 'fahrenheit')"}
+        )
+        to_c = TransformOperator(
+            {"temperature": "convert(temperature, 'fahrenheit', 'celsius')"}
+        )
+        for tup in tuples_from(values):
+            there = to_f.on_tuple(tup)[0]
+            back = to_c.on_tuple(there)[0]
+            assert np.isclose(back["temperature"], tup["temperature"])
+
+    @given(batches)
+    def test_preserves_cardinality(self, values):
+        op = TransformOperator({"temperature": "temperature + 1"})
+        outs = [op.on_tuple(tup) for tup in tuples_from(values)]
+        assert all(len(out) == 1 for out in outs)
+
+
+class TestVirtualPropertyProperties:
+    @given(batches)
+    def test_only_adds_never_mutates(self, values):
+        op = VirtualPropertyOperator("flag", "temperature > 0")
+        for tup in tuples_from(values):
+            out = op.on_tuple(tup)[0]
+            assert set(out.payload) == set(tup.payload) | {"flag"}
+            for key in tup.payload:
+                assert out[key] == tup[key]
+
+
+class TestJoinProperties:
+    @given(batches, batches)
+    @settings(max_examples=30)
+    def test_join_size_bounded_by_product(self, left, right):
+        op = JoinOperator(interval=1000.0, predicate="left.seqmod == right.seqmod")
+        for tup in tuples_from(left):
+            op.on_tuple(tup.with_updates(seqmod=tup.seq % 2), port=0)
+        for tup in tuples_from(right):
+            op.on_tuple(tup.with_updates(seqmod=tup.seq % 2), port=1)
+        out = op.on_timer(1000.0)
+        assert len(out) <= len(left) * len(right)
+
+    @given(batches, batches)
+    @settings(max_examples=30)
+    def test_true_predicate_is_cross_product(self, left, right):
+        op = JoinOperator(interval=1000.0, predicate="true")
+        for tup in tuples_from(left):
+            op.on_tuple(tup, port=0)
+        for tup in tuples_from(right):
+            op.on_tuple(tup, port=1)
+        assert len(op.on_timer(1000.0)) == len(left) * len(right)
+
+    @given(batches, batches, st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_join_commutes_with_interleaving(self, left, right, rng):
+        """The flush output is independent of arrival interleaving."""
+
+        def run(events):
+            op = JoinOperator(interval=1000.0,
+                              predicate="left.station == right.station")
+            for port, tup in events:
+                op.on_tuple(tup, port=port)
+            return sorted(
+                tuple(sorted(t.values().items())) for t in op.on_timer(1000.0)
+            )
+
+        ordered = [(0, tup) for tup in tuples_from(left)] + [
+            (1, tup) for tup in tuples_from(right)
+        ]
+        shuffled = list(ordered)
+        rng.shuffle(shuffled)
+        assert run(ordered) == run(shuffled)

@@ -1,0 +1,144 @@
+"""Unit tests for sample-based step-by-step debugging."""
+
+import pytest
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import (
+    AggregationSpec,
+    FilterSpec,
+    JoinSpec,
+    TriggerOnSpec,
+)
+from repro.dataflow.sample import run_sample, sample_from_sensors
+from repro.errors import DataflowError, ValidationError
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.schema.schema import StreamSchema
+
+
+@pytest.fixture
+def schema(weather_schema) -> StreamSchema:
+    return weather_schema
+
+
+def flow_with_schema(schema):
+    flow = Dataflow("sampled")
+    src = flow.add_source(SubscriptionFilter(sensor_type="temperature"),
+                          schema=schema, node_id="src")
+    hot = flow.add_operator(FilterSpec("temperature > 24"), node_id="hot")
+    sink = flow.add_sink(node_id="k")
+    flow.connect(src, hot)
+    flow.connect(hot, sink)
+    return flow
+
+
+class TestRunSample:
+    def test_per_node_outputs(self, schema, make_tuple):
+        flow = flow_with_schema(schema)
+        samples = {"src": [make_tuple(i, temperature=20.0 + i) for i in range(10)]}
+        result = run_sample(flow, samples)
+        assert len(result.at("src")) == 10
+        assert len(result.at("hot")) == 5
+        assert len(result.at("k")) == 5  # sink shows what arrives
+
+    def test_blocking_operator_flushed_once(self, schema, make_tuple):
+        flow = Dataflow("agg")
+        src = flow.add_source(SubscriptionFilter(), schema=schema, node_id="src")
+        agg = flow.add_operator(
+            AggregationSpec(interval=60.0, attributes=("temperature",),
+                            function="AVG"),
+            node_id="agg",
+        )
+        sink = flow.add_sink(node_id="k")
+        flow.connect(src, agg)
+        flow.connect(agg, sink)
+        samples = {"src": [make_tuple(i, temperature=float(i)) for i in range(4)]}
+        result = run_sample(flow, samples)
+        assert len(result.at("agg")) == 1
+        assert result.at("agg")[0]["avg_temperature"] == 1.5
+
+    def test_join_preview(self, schema, make_tuple):
+        flow = Dataflow("join")
+        a = flow.add_source(SubscriptionFilter(), schema=schema, node_id="a")
+        b = flow.add_source(SubscriptionFilter(), schema=schema, node_id="b")
+        join = flow.add_operator(
+            JoinSpec(interval=60.0, predicate="left.station == right.station"),
+            node_id="j",
+        )
+        sink = flow.add_sink(node_id="k")
+        flow.connect(a, join, port=0)
+        flow.connect(b, join, port=1)
+        flow.connect(join, sink)
+        samples = {
+            "a": [make_tuple(0, station="umeda")],
+            "b": [make_tuple(1, station="umeda"), make_tuple(2, station="namba")],
+        }
+        result = run_sample(flow, samples)
+        assert len(result.at("j")) == 1
+
+    def test_trigger_dry_run_commands(self, schema, make_tuple):
+        flow = Dataflow("trig")
+        src = flow.add_source(SubscriptionFilter(), schema=schema, node_id="src",
+                              initially_active=False)
+        temp = flow.add_source(SubscriptionFilter(), schema=schema, node_id="temp")
+        trig = flow.add_operator(
+            TriggerOnSpec(interval=60.0, condition="avg_temperature > 25",
+                          targets=("rain-1",)),
+            node_id="trig",
+        )
+        sink = flow.add_sink(node_id="k")
+        flow.connect(temp, trig)
+        flow.connect(src, sink)
+        flow.connect_control(trig, src)
+        samples = {
+            "temp": [make_tuple(i, temperature=30.0) for i in range(3)],
+            "src": [make_tuple(9)],
+        }
+        result = run_sample(flow, samples)
+        assert "trig" in result.commands
+        assert result.commands["trig"][0].activate is True
+
+    def test_invalid_flow_raises(self, schema, make_tuple):
+        flow = Dataflow("invalid")
+        src = flow.add_source(SubscriptionFilter(), schema=schema, node_id="src")
+        bad = flow.add_operator(FilterSpec("ghost > 1"), node_id="bad")
+        sink = flow.add_sink(node_id="k")
+        flow.connect(src, bad)
+        flow.connect(bad, sink)
+        with pytest.raises(ValidationError):
+            run_sample(flow, {"src": [make_tuple(0)]})
+
+    def test_missing_sample_batch_raises(self, schema):
+        flow = flow_with_schema(schema)
+        with pytest.raises(DataflowError, match="no sample batch"):
+            run_sample(flow, {})
+
+
+class TestSampleFromSensors:
+    def test_probes_requested_count(self, schema):
+        from repro.sensors.physical import temperature_sensor
+        from repro.stt.spatial import Point
+
+        flow = flow_with_schema(schema)
+        sensor = temperature_sensor("t1", Point(34.69, 135.50), "edge-0")
+        batches = sample_from_sensors(flow, {"src": sensor}, count=5, start=0.0)
+        assert len(batches["src"]) == 5
+        times = [t.stamp.time for t in batches["src"]]
+        assert times == sorted(times)
+
+    def test_unknown_source_raises(self, schema):
+        from repro.sensors.physical import temperature_sensor
+        from repro.stt.spatial import Point
+
+        flow = flow_with_schema(schema)
+        sensor = temperature_sensor("t1", Point(34.69, 135.50), "edge-0")
+        with pytest.raises(DataflowError):
+            sample_from_sensors(flow, {"ghost": sensor})
+
+    def test_sparse_sensor_bounded_attempts(self, schema):
+        from repro.sensors.social import twitter_sensor
+        from repro.sensors.osaka import OSAKA_AREA
+
+        flow = flow_with_schema(schema)
+        sensor = twitter_sensor("tw1", OSAKA_AREA, "edge-0")
+        batches = sample_from_sensors(flow, {"src": sensor}, count=3)
+        assert len(batches["src"]) <= 3  # may be fewer; must terminate

@@ -1,0 +1,148 @@
+"""Unit tests for the designer session (the headless web app)."""
+
+import pytest
+
+from repro.dataflow.ops import AggregationSpec, FilterSpec, TriggerOnSpec
+from repro.designer.session import DesignerSession
+from repro.errors import DataflowError, ValidationError
+from repro.scenario import build_stack
+
+
+@pytest.fixture
+def stack():
+    return build_stack(hot=True)
+
+
+@pytest.fixture
+def session(stack) -> DesignerSession:
+    return DesignerSession(stack.executor, name="session-flow")
+
+
+class TestDiscovery:
+    def test_discover_by_type(self, session):
+        found = session.discover(sensor_type="rain")
+        assert len(found) == 3
+        assert all(m.sensor_type == "rain" for m in found)
+
+    def test_palette_available(self, session):
+        assert len(session.palette.operators()) == 10
+
+
+class TestCanvasEditing:
+    def test_source_by_bare_id(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        assert session.flow.sources[src].filter.sensor_ids == ("osaka-temp-umeda",)
+
+    def test_incremental_validation_feedback(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        op = session.add_operator(FilterSpec("temperature > 24"))
+        assert not session.is_consistent  # dangling operator
+        sink = session.add_sink()
+        session.connect(src, op)
+        session.connect(op, sink)
+        assert session.is_consistent
+        assert session.issues() == []
+
+    def test_schema_pane_shows_propagated_schema(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        agg = session.add_operator(
+            AggregationSpec(interval=600.0, attributes=("temperature",),
+                            function="MAX")
+        )
+        sink = session.add_sink()
+        session.connect(src, agg)
+        session.connect(agg, sink)
+        assert "max_temperature" in session.schema_pane(agg)
+
+    def test_schema_pane_for_broken_upstream(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        bad = session.add_operator(FilterSpec("ghost > 1"))
+        sink = session.add_sink()
+        session.connect(src, bad)
+        session.connect(bad, sink)
+        assert "unavailable" in session.schema_pane(bad)
+
+    def test_schema_pane_unknown_node(self, session):
+        with pytest.raises(DataflowError):
+            session.schema_pane("ghost")
+
+    def test_remove_node(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        session.remove_node(src)
+        assert src not in session.flow
+
+
+class TestPreview:
+    def test_preview_with_probed_sensors(self, session, stack):
+        src = session.add_source("osaka-temp-umeda")
+        hot = session.add_operator(FilterSpec("temperature > -100"))
+        sink = session.add_sink()
+        session.connect(src, hot)
+        session.connect(hot, sink)
+        result = session.preview(
+            sensors={src: stack.sensor("osaka-temp-umeda")}, count=4
+        )
+        assert len(result.at(src)) == 4
+        assert len(result.at(hot)) == 4
+
+    def test_preview_requires_input(self, session):
+        session.add_source("osaka-temp-umeda")
+        with pytest.raises(DataflowError, match="needs sensors or sample"):
+            session.preview()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        op = session.add_operator(FilterSpec("temperature > 24"))
+        sink = session.add_sink()
+        session.connect(src, op)
+        session.connect(op, sink)
+        document = session.save()
+        session.load(document)
+        assert session.is_consistent
+        assert session.save() == document
+
+
+class TestTranslateDeploy:
+    def build_valid(self, session):
+        src = session.add_source("osaka-temp-umeda")
+        op = session.add_operator(FilterSpec("temperature > 24"), node_id="hot")
+        sink = session.add_sink(node_id="out")
+        session.connect(src, op)
+        session.connect(op, sink)
+        return src
+
+    def test_translate_consistent_canvas(self, session):
+        self.build_valid(session)
+        program = session.translate()
+        assert program.name == "session-flow"
+        assert len(program.services) == 3
+
+    def test_translate_inconsistent_refused(self, session):
+        session.add_source("osaka-temp-umeda")
+        session.add_operator(FilterSpec("temperature > 24"))
+        with pytest.raises(ValidationError):
+            session.translate()
+
+    def test_deploy_returns_live_handle(self, session, stack):
+        self.build_valid(session)
+        handle = session.deploy()
+        stack.run_until(14 * 3600.0)
+        annotations = handle.annotations()
+        assert annotations["hot"]["tuples_in"] > 0
+        assert annotations["hot"]["node"] in stack.topology.node_ids
+        source_note = [v for k, v in annotations.items()
+                       if "sensors" in v]
+        assert source_note and source_note[0]["delivered"] > 0
+
+    def test_handle_controls(self, session, stack):
+        self.build_valid(session)
+        handle = session.deploy()
+        stack.run_until(3600.0)
+        handle.pause()
+        assert handle.state.value == "paused"
+        handle.resume()
+        handle.replace_operator("hot", FilterSpec("temperature > 30"))
+        handle.teardown()
+        assert handle.state.value == "stopped"

@@ -1,0 +1,113 @@
+"""Unit tests for the DSN program model."""
+
+import pytest
+
+from repro.dsn.ast import (
+    DsnChannel,
+    DsnControl,
+    DsnProgram,
+    DsnService,
+    ServiceRole,
+)
+from repro.errors import DsnError
+from repro.network.qos import QosPolicy
+
+
+def small_program() -> DsnProgram:
+    program = DsnProgram(name="p")
+    program.services.append(
+        DsnService(role=ServiceRole.SOURCE, name="src", kind="sensor-stream",
+                   params={"filter": {"sensor_type": "rain"}, "active": True})
+    )
+    program.services.append(
+        DsnService(role=ServiceRole.OPERATOR, name="f", kind="filter",
+                   params={"condition": "rain_rate > 10"})
+    )
+    program.services.append(
+        DsnService(role=ServiceRole.SINK, name="k", kind="collector",
+                   params={"config": {}}, qos=QosPolicy())
+    )
+    program.channels.append(DsnChannel("src", "f", 0))
+    program.channels.append(DsnChannel("f", "k", 0))
+    return program
+
+
+class TestModel:
+    def test_service_lookup(self):
+        program = small_program()
+        assert program.service("f").kind == "filter"
+        with pytest.raises(DsnError):
+            program.service("ghost")
+
+    def test_services_by_role(self):
+        program = small_program()
+        assert [s.name for s in program.services_by_role(ServiceRole.SOURCE)] \
+            == ["src"]
+
+    def test_channels_into_sorted_by_port(self):
+        program = DsnProgram(name="p")
+        for name in ("a", "b", "j"):
+            program.services.append(
+                DsnService(role=ServiceRole.OPERATOR, name=name, kind="filter")
+            )
+        program.channels.append(DsnChannel("b", "j", 1))
+        program.channels.append(DsnChannel("a", "j", 0))
+        assert [c.port for c in program.channels_into("j")] == [0, 1]
+
+    def test_role_parse(self):
+        assert ServiceRole.parse("operator") is ServiceRole.OPERATOR
+        with pytest.raises(DsnError):
+            ServiceRole.parse("widget")
+
+
+class TestCheck:
+    def test_valid_program_passes(self):
+        small_program().check()
+
+    def test_duplicate_services_fail(self):
+        program = small_program()
+        program.services.append(
+            DsnService(role=ServiceRole.OPERATOR, name="f", kind="filter")
+        )
+        with pytest.raises(DsnError, match="duplicate"):
+            program.check()
+
+    def test_dangling_channel_fails(self):
+        program = small_program()
+        program.channels.append(DsnChannel("ghost", "f", 0))
+        with pytest.raises(DsnError, match="undeclared"):
+            program.check()
+
+    def test_dangling_control_fails(self):
+        program = small_program()
+        program.controls.append(DsnControl("ghost", "src"))
+        with pytest.raises(DsnError, match="undeclared"):
+            program.check()
+
+
+class TestRender:
+    def test_render_contains_all_statements(self):
+        text = small_program().render()
+        assert 'dsn "p" {' in text
+        assert 'service source "src" kind "sensor-stream"' in text
+        assert 'param condition = "rain_rate > 10";' in text
+        assert 'channel "src" -> "f" port 0;' in text
+        assert text.rstrip().endswith("}")
+
+    def test_render_is_deterministic(self):
+        assert small_program().render() == small_program().render()
+
+    def test_params_sorted(self):
+        service = DsnService(role=ServiceRole.OPERATOR, name="x", kind="k",
+                             params={"zeta": 1, "alpha": 2})
+        text = service.render()
+        assert text.index("alpha") < text.index("zeta")
+
+    def test_qos_rendered(self):
+        service = DsnService(
+            role=ServiceRole.SINK, name="k", kind="warehouse",
+            qos=QosPolicy(qos_class="real-time", segment_bytes=512,
+                          priority=1, max_latency=0.25),
+        )
+        text = service.render()
+        assert 'qos class "real-time" segment 512 priority 1 max_latency 0.25;' in text

@@ -1,0 +1,63 @@
+"""Unit tests for DSN -> dataflow reverse translation."""
+
+import pytest
+
+from repro.dsn.generate import dataflow_to_dsn, dsn_to_dataflow
+from repro.dsn.parse import parse_dsn
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork
+from repro.sensors.osaka import osaka_fleet
+from tests.unit.dsn.test_generate import scenario_flow
+
+
+@pytest.fixture
+def registry():
+    net = BrokerNetwork()
+    for sensor in osaka_fleet(Topology.star(leaf_count=2)):
+        net.publish(sensor.metadata)
+    return net.registry
+
+
+class TestReverseTranslation:
+    def test_full_round_trip(self, registry):
+        program = dataflow_to_dsn(scenario_flow(), registry)
+        flow = dsn_to_dataflow(program)
+        again = dataflow_to_dsn(flow, registry)
+        assert again.render() == program.render()
+
+    def test_round_trip_through_text(self, registry):
+        text = dataflow_to_dsn(scenario_flow(), registry).render()
+        flow = dsn_to_dataflow(parse_dsn(text))
+        assert dataflow_to_dsn(flow, registry).render() == text
+
+    def test_structure_reconstructed(self, registry):
+        program = dataflow_to_dsn(scenario_flow(), registry)
+        flow = dsn_to_dataflow(program)
+        assert set(flow.sources) == {"temp", "rain"}
+        assert set(flow.operators) == {"trig", "torrential"}
+        assert set(flow.sinks) == {"dw"}
+        assert len(flow.control_edges) == 1
+        assert not flow.sources["rain"].initially_active
+        assert flow.sources["temp"].initially_active
+
+    def test_reconstructed_flow_is_deployable(self, registry):
+        from repro.scenario import build_stack
+
+        stack = build_stack()
+        program = dataflow_to_dsn(scenario_flow(), stack.broker_network.registry)
+        flow = dsn_to_dataflow(program)
+        deployment = stack.executor.deploy(flow)
+        stack.run_until(3600.0)
+        assert deployment.process("trig").operator.stats.tuples_in > 0
+
+    def test_invalid_program_rejected(self):
+        from repro.dsn.ast import DsnChannel, DsnProgram, DsnService, ServiceRole
+        from repro.errors import DsnError
+
+        program = DsnProgram(name="broken")
+        program.services.append(
+            DsnService(role=ServiceRole.SOURCE, name="s", params={})
+        )
+        program.channels.append(DsnChannel("s", "ghost", 0))
+        with pytest.raises(DsnError):
+            dsn_to_dataflow(program)

@@ -1,0 +1,45 @@
+"""Unit tests for the grid topology builder."""
+
+import pytest
+
+from repro.errors import NetworkError, UnreachableError
+from repro.network.topology import Topology
+
+
+class TestGrid:
+    def test_dimensions(self):
+        topo = Topology.grid(rows=3, cols=4)
+        assert len(topo) == 12
+        # Interior links: 3*3 horizontal + 2*4 vertical.
+        assert len(topo.links) == 3 * 3 + 2 * 4
+
+    def test_manhattan_routing(self):
+        topo = Topology.grid(rows=3, cols=3)
+        path = topo.route("grid-0-0", "grid-2-2")
+        assert len(path) == 5  # 4 hops
+
+    def test_multipath_rerouting(self):
+        topo = Topology.grid(rows=2, cols=2)
+        direct = topo.route("grid-0-0", "grid-0-1")
+        assert direct == ["grid-0-0", "grid-0-1"]
+        topo.link("grid-0-0", "grid-0-1").fail()
+        detour = topo.route("grid-0-0", "grid-0-1")
+        assert detour == ["grid-0-0", "grid-1-0", "grid-1-1", "grid-0-1"]
+
+    def test_cut_disconnects(self):
+        topo = Topology.grid(rows=1, cols=3)
+        topo.node("grid-0-1").fail()
+        with pytest.raises(UnreachableError):
+            topo.route("grid-0-0", "grid-0-2")
+
+    def test_single_cell(self):
+        topo = Topology.grid(rows=1, cols=1)
+        assert len(topo) == 1 and not topo.links
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(NetworkError):
+            Topology.grid(rows=0, cols=3)
+
+    def test_regions_by_row(self):
+        topo = Topology.grid(rows=2, cols=2)
+        assert topo.node("grid-1-0").region == "row-1"

@@ -1,0 +1,50 @@
+"""Unit tests for QoS classes and policies."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.qos import QosClass, QosPolicy
+
+
+class TestQosClass:
+    def test_parse(self):
+        assert QosClass.parse("reliable") is QosClass.RELIABLE
+        assert QosClass.parse("REAL_TIME") is QosClass.REAL_TIME
+        assert QosClass.parse(QosClass.BEST_EFFORT) is QosClass.BEST_EFFORT
+
+    def test_unknown_raises(self):
+        with pytest.raises(NetworkError, match="unknown QoS"):
+            QosClass.parse("platinum")
+
+
+class TestQosPolicy:
+    def test_defaults(self):
+        policy = QosPolicy()
+        assert policy.qos_class is QosClass.BEST_EFFORT
+        assert policy.segment_bytes == 65536
+
+    def test_string_class_coerced(self):
+        assert QosPolicy(qos_class="real-time").qos_class is QosClass.REAL_TIME
+
+    def test_invalid_segment_raises(self):
+        with pytest.raises(NetworkError):
+            QosPolicy(segment_bytes=0)
+
+    def test_invalid_latency_raises(self):
+        with pytest.raises(NetworkError):
+            QosPolicy(max_latency=0.0)
+
+    @pytest.mark.parametrize("size,expected", [
+        (0, 1), (1, 1), (100, 1), (100.0, 1),
+        (65536, 1), (65537, 2), (65536 * 3, 3), (65536 * 3 + 1, 4),
+    ])
+    def test_segments(self, size, expected):
+        assert QosPolicy().segments(size) == expected
+
+    def test_segments_custom_size(self):
+        assert QosPolicy(segment_bytes=10).segments(35) == 4
+
+    def test_describe(self):
+        policy = QosPolicy(qos_class="real-time", priority=3, max_latency=0.5)
+        text = policy.describe()
+        assert "real-time" in text and "priority=3" in text and "0.5" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the topology and routing."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownNodeError, UnreachableError
+from repro.network.topology import Topology
+
+
+@pytest.fixture
+def diamond() -> Topology:
+    """a - b - d and a - c - d, with the b path faster."""
+    topo = Topology()
+    for name in "abcd":
+        topo.add_node(name)
+    topo.add_link("a", "b", latency=0.001)
+    topo.add_link("b", "d", latency=0.001)
+    topo.add_link("a", "c", latency=0.010)
+    topo.add_link("c", "d", latency=0.010)
+    return topo
+
+
+class TestConstruction:
+    def test_add_node_by_id(self):
+        topo = Topology()
+        node = topo.add_node("n1", capacity=123.0)
+        assert node.capacity == 123.0
+        assert "n1" in topo
+
+    def test_duplicate_node_raises(self):
+        topo = Topology()
+        topo.add_node("n1")
+        with pytest.raises(NetworkError, match="already"):
+            topo.add_node("n1")
+
+    def test_link_unknown_node_raises(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(UnknownNodeError):
+            topo.add_link("a", "ghost")
+
+    def test_duplicate_link_raises(self, diamond):
+        with pytest.raises(NetworkError, match="already"):
+            diamond.add_link("a", "b")
+
+    def test_lookups(self, diamond):
+        assert diamond.node("a").node_id == "a"
+        assert diamond.link("b", "a").key == ("a", "b")
+        with pytest.raises(UnknownNodeError):
+            diamond.node("ghost")
+        with pytest.raises(NetworkError):
+            diamond.link("a", "d")
+
+    def test_neighbors(self, diamond):
+        assert diamond.neighbors("a") == ["b", "c"]
+
+    def test_len(self, diamond):
+        assert len(diamond) == 4
+
+
+class TestRouting:
+    def test_prefers_lower_latency(self, diamond):
+        assert diamond.route("a", "d") == ["a", "b", "d"]
+
+    def test_self_route(self, diamond):
+        assert diamond.route("a", "a") == ["a"]
+
+    def test_reroutes_around_dead_node(self, diamond):
+        diamond.node("b").fail()
+        assert diamond.route("a", "d") == ["a", "c", "d"]
+
+    def test_reroutes_around_dead_link(self, diamond):
+        diamond.link("a", "b").fail()
+        assert diamond.route("a", "d") == ["a", "c", "d"]
+
+    def test_unreachable_raises(self, diamond):
+        diamond.node("b").fail()
+        diamond.node("c").fail()
+        with pytest.raises(UnreachableError):
+            diamond.route("a", "d")
+
+    def test_route_from_dead_node_raises(self, diamond):
+        diamond.node("a").fail()
+        with pytest.raises(UnreachableError, match="down"):
+            diamond.route("a", "d")
+
+    def test_path_latency(self, diamond):
+        assert diamond.path_latency(["a", "b", "d"]) == pytest.approx(0.002)
+        assert diamond.route_latency("a", "d") == pytest.approx(0.002)
+
+
+class TestBuilders:
+    def test_star(self):
+        topo = Topology.star(leaf_count=5)
+        assert len(topo) == 6
+        assert topo.neighbors("hub") == [f"edge-{i}" for i in range(5)]
+        # Hub gets double capacity.
+        assert topo.node("hub").capacity == 2 * topo.node("edge-0").capacity
+
+    def test_line(self):
+        topo = Topology.line(node_count=4)
+        assert topo.route("node-0", "node-3") == [
+            "node-0", "node-1", "node-2", "node-3",
+        ]
+
+    def test_line_single_node(self):
+        topo = Topology.line(node_count=1)
+        assert len(topo) == 1
+
+    def test_line_zero_raises(self):
+        with pytest.raises(NetworkError):
+            Topology.line(node_count=0)

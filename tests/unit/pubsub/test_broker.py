@@ -1,0 +1,142 @@
+"""Unit tests for the broker network (overlay + data plane)."""
+
+import pytest
+
+from repro.errors import PubSubError, UnknownSensorError
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.stamping import backfill_stamp
+from repro.pubsub.subscription import SubscriptionFilter
+from tests.unit.pubsub.test_registry import make_metadata
+
+
+def publish_reading(network, metadata, now=0.0, seq=0, value=1.0):
+    tuple_ = backfill_stamp({"v": value}, metadata, now=now, seq=seq)
+    return network.publish_data(metadata.sensor_id, tuple_)
+
+
+class TestPublish:
+    def test_publish_registers_and_propagates(self, local_broker_net):
+        net = local_broker_net
+        other = net.broker("n-other")
+        metadata = make_metadata(node_id="n-home")
+        net.publish(metadata)
+        assert "temp-1" in net.registry
+        assert "temp-1" in other.known_sensors
+        assert net.advertisements_sent == 1
+
+    def test_unpublish_removes_routes(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        net.subscribe("edge-0", SubscriptionFilter(), lambda t: None)
+        net.unpublish("temp-1")
+        with pytest.raises(UnknownSensorError):
+            net.subscriptions_for("temp-1")
+
+    def test_publish_callbacks(self, local_broker_net):
+        events = []
+        local_broker_net.on_sensor_published = lambda m: events.append(("+", m.sensor_id))
+        local_broker_net.on_sensor_unpublished = lambda m: events.append(("-", m.sensor_id))
+        local_broker_net.publish(make_metadata())
+        local_broker_net.unpublish("temp-1")
+        assert events == [("+", "temp-1"), ("-", "temp-1")]
+
+    def test_broker_on_unknown_node_raises_with_netsim(self, broker_net):
+        with pytest.raises(PubSubError, match="no network node"):
+            broker_net.broker("ghost-node")
+
+
+class TestSubscriptionRouting:
+    def test_existing_subscription_matches_new_sensor(self, local_broker_net):
+        # Plug-and-play: a new sensor matching a standing filter routes
+        # automatically (demo part P3).
+        net = local_broker_net
+        seen = []
+        net.subscribe("n1", SubscriptionFilter(sensor_type="temperature"),
+                      seen.append)
+        metadata = make_metadata("late-sensor")
+        net.publish(metadata)
+        publish_reading(net, metadata)
+        assert len(seen) == 1
+
+    def test_new_subscription_matches_existing_sensor(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        seen = []
+        net.subscribe("n1", SubscriptionFilter(sensor_type="temperature"),
+                      seen.append)
+        publish_reading(net, metadata)
+        assert len(seen) == 1
+
+    def test_non_matching_filter_receives_nothing(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        seen = []
+        net.subscribe("n1", SubscriptionFilter(sensor_type="rain"), seen.append)
+        publish_reading(net, metadata)
+        assert seen == []
+
+    def test_unsubscribe_stops_delivery(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        seen = []
+        subscription = net.subscribe("n1", SubscriptionFilter(), seen.append)
+        net.unsubscribe(subscription)
+        publish_reading(net, metadata)
+        assert seen == []
+
+    def test_multiple_subscribers_fan_out(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        counts = {"a": 0, "b": 0}
+        net.subscribe("n1", SubscriptionFilter(),
+                      lambda t: counts.__setitem__("a", counts["a"] + 1))
+        net.subscribe("n2", SubscriptionFilter(),
+                      lambda t: counts.__setitem__("b", counts["b"] + 1))
+        assert publish_reading(net, metadata) == 2
+        assert counts == {"a": 1, "b": 1}
+
+
+class TestSuppression:
+    def test_paused_subscription_generates_no_traffic(self, broker_net):
+        net = broker_net
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        subscription = net.subscribe("hub", SubscriptionFilter(), seen.append)
+        subscription.pause()
+        sent_before = net.netsim.stats.messages_sent
+        assert publish_reading(net, metadata) == 0
+        assert net.netsim.stats.messages_sent == sent_before
+        assert net.data_messages_suppressed == 1
+
+    def test_resume_restores_traffic(self, broker_net):
+        net = broker_net
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        subscription = net.subscribe("hub", SubscriptionFilter(), seen.append)
+        subscription.pause()
+        publish_reading(net, metadata, seq=0)
+        subscription.resume()
+        publish_reading(net, metadata, seq=1)
+        net.netsim.clock.run()
+        assert len(seen) == 1
+
+
+class TestNetworkedDelivery:
+    def test_delivery_crosses_simulated_links(self, broker_net):
+        net = broker_net
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        net.subscribe("edge-1", SubscriptionFilter(), seen.append)
+        publish_reading(net, metadata)
+        assert seen == []  # not yet: in flight
+        net.netsim.clock.run()
+        assert len(seen) == 1
+        assert net.netsim.total_link_bytes() > 0

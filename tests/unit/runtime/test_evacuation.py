@@ -1,0 +1,67 @@
+"""Unit tests for dead-node evacuation (failure recovery)."""
+
+import pytest
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import FilterSpec
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.scenario import build_stack
+
+
+@pytest.fixture
+def deployed():
+    stack = build_stack(rebalance_interval=120.0)
+    flow = Dataflow("evac")
+    src = flow.add_source(SubscriptionFilter(sensor_type="temperature"),
+                          node_id="src")
+    keep = flow.add_operator(FilterSpec("temperature > -100"), node_id="keep")
+    out = flow.add_sink("collector", node_id="out")
+    flow.connect(src, keep)
+    flow.connect(keep, out)
+    deployment = stack.executor.deploy(flow)
+    stack.run_until(300.0)
+    return stack, deployment
+
+
+class TestEvacuation:
+    def test_process_moves_off_dead_node(self, deployed):
+        stack, deployment = deployed
+        victim = deployment.process("keep").node_id
+        stack.topology.node(victim).fail()
+        stack.run_until(600.0)  # at least one coordination round
+        assert deployment.process("keep").node_id != victim
+        changes = [c for c in stack.executor.monitor.assignment_log
+                   if c.process_id == "evac:keep"]
+        assert changes and "down" in changes[0].reason
+
+    def test_stream_recovers_after_evacuation(self, deployed):
+        stack, deployment = deployed
+        victim = deployment.process("keep").node_id
+        stack.topology.node(victim).fail()
+        stack.run_until(900.0)
+        count = len(deployment.collected("out"))
+        stack.run_until(3600.0)
+        assert len(deployment.collected("out")) > count
+
+    def test_subscriptions_follow_evacuated_process(self, deployed):
+        stack, deployment = deployed
+        victim = deployment.process("keep").node_id
+        stack.topology.node(victim).fail()
+        stack.run_until(600.0)
+        new_node = deployment.process("keep").node_id
+        for subscription in deployment.bindings["src"].subscriptions:
+            assert subscription.node_id == new_node
+
+    def test_no_evacuation_when_nowhere_to_go(self, deployed):
+        stack, deployment = deployed
+        for node in stack.topology.nodes:
+            node.fail()
+        stack.run_until(600.0)  # must not raise; processes stay put
+        assert deployment.process("keep").node_id in stack.topology.node_ids
+
+    def test_placement_map_records_reason(self, deployed):
+        stack, deployment = deployed
+        victim = deployment.process("keep").node_id
+        stack.topology.node(victim).fail()
+        stack.run_until(600.0)
+        assert "down" in deployment.placements["keep"].reason

@@ -1,0 +1,78 @@
+"""Unit tests for on-the-fly modification (demo P3)."""
+
+import pytest
+
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import AggregationSpec, FilterSpec
+from repro.errors import LifecycleError, ValidationError
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.runtime.lifecycle import replace_operator_live
+from repro.scenario import build_stack
+
+
+@pytest.fixture
+def stack():
+    return build_stack(hot=True)
+
+
+@pytest.fixture
+def deployment(stack):
+    flow = Dataflow("live-edit")
+    src = flow.add_source(SubscriptionFilter(sensor_type="temperature"),
+                          node_id="src")
+    hot = flow.add_operator(FilterSpec("temperature > 24"), node_id="hot")
+    sink = flow.add_sink("collector", node_id="out")
+    flow.connect(src, hot)
+    flow.connect(hot, sink)
+    return stack.executor.deploy(flow)
+
+
+class TestReplaceOperator:
+    def test_swap_changes_behaviour(self, stack, deployment):
+        stack.run_until(13 * 3600.0)
+        before = len(deployment.collected("out"))
+        assert before > 0
+        # Tighten the filter to something nothing passes.
+        replace_operator_live(deployment, "hot", FilterSpec("temperature > 99"))
+        stack.run_until(15 * 3600.0)
+        assert len(deployment.collected("out")) == before
+
+    def test_process_keeps_node_and_routes(self, stack, deployment):
+        node_before = deployment.process("hot").node_id
+        routes_before = list(deployment.process("hot").routes)
+        replace_operator_live(deployment, "hot", FilterSpec("temperature > 30"))
+        assert deployment.process("hot").node_id == node_before
+        assert deployment.process("hot").routes == routes_before
+
+    def test_blocking_replacement_gets_timer(self, stack, deployment):
+        replace_operator_live(
+            deployment, "hot",
+            AggregationSpec(interval=600.0, attributes=("temperature",),
+                            function="AVG"),
+        )
+        stack.run_until(2 * 3600.0)
+        collected = deployment.collected("out")
+        assert collected
+        assert "avg_temperature" in collected[0]
+
+    def test_invalid_replacement_rejected_and_rolled_back(self, stack, deployment):
+        with pytest.raises(ValidationError):
+            replace_operator_live(deployment, "hot", FilterSpec("ghost > 1"))
+        # Original spec still in place and stream still works.
+        assert deployment.flow.operators["hot"].spec.condition == "temperature > 24"
+        stack.run_until(14 * 3600.0)
+        assert deployment.collected("out")
+
+    def test_unknown_service_raises(self, deployment):
+        with pytest.raises(LifecycleError):
+            replace_operator_live(deployment, "ghost", FilterSpec("true"))
+
+    def test_stopped_deployment_rejects_modification(self, deployment):
+        deployment.teardown()
+        with pytest.raises(LifecycleError):
+            replace_operator_live(deployment, "hot", FilterSpec("true"))
+
+    def test_monitor_logs_replacement(self, stack, deployment):
+        replace_operator_live(deployment, "hot", FilterSpec("temperature > 30"))
+        assert any(record.event == "operator-replaced"
+                   for record in stack.executor.monitor.logs)

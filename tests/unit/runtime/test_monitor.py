@@ -1,0 +1,102 @@
+"""Unit tests for the monitor."""
+
+import pytest
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.runtime.monitor import Monitor
+from repro.runtime.process import OperatorProcess
+from repro.streams.base import ControlCommand
+from repro.streams.filter import FilterOperator
+
+
+@pytest.fixture
+def sim() -> NetworkSimulator:
+    return NetworkSimulator(topology=Topology.line(2))
+
+
+@pytest.fixture
+def monitor(sim) -> Monitor:
+    return Monitor(sim, sample_interval=60.0)
+
+
+def make_process(sim, name="f", node="node-0"):
+    return OperatorProcess(name, FilterOperator("temperature > -100"), node, sim)
+
+
+class TestSampling:
+    def test_operation_rates_collected(self, sim, monitor, make_tuple):
+        process = make_process(sim)
+        monitor.watch("flow", [process])
+        monitor.start()
+        for i in range(120):
+            sim.clock.schedule(float(i), lambda i=i: process.receive(make_tuple(i)))
+        sim.clock.run_until(180.0)
+        series = monitor.operation_rates["flow/f"]
+        assert len(series) == 3
+        assert series.points[1][1] == pytest.approx(1.0, rel=0.1)
+
+    def test_node_utilization_sampled(self, sim, monitor):
+        monitor.start()
+        sim.topology.node("node-0").register_process("bg", demand=500.0)
+        sim.clock.run_until(60.0)
+        assert monitor.node_utilization["node-0"].last == pytest.approx(0.5)
+
+    def test_stop_halts_sampling(self, sim, monitor):
+        monitor.start()
+        sim.clock.run_until(60.0)
+        monitor.stop()
+        sim.clock.run_until(600.0)
+        assert len(monitor.node_utilization["node-0"]) == 1
+
+
+class TestEvents:
+    def test_assignment_log(self, sim, monitor):
+        monitor.record_assignment("flow:f", "node-0", "node-1", "overload")
+        assert len(monitor.assignment_log) == 1
+        change = monitor.assignment_log[0]
+        assert change.from_node == "node-0" and change.to_node == "node-1"
+        assert any("reassigned" in str(record) for record in monitor.logs)
+
+    def test_control_log(self, sim, monitor):
+        command = ControlCommand(activate=True, sensor_ids=("rain-1",),
+                                 issued_at=0.0, reason="hot")
+        monitor.record_control("flow", command)
+        assert monitor.control_log == [command]
+        assert any("activate" in record.event for record in monitor.logs)
+
+    def test_suffering_nodes(self, sim, monitor):
+        sim.topology.node("node-1").register_process("hog", demand=2000.0)
+        assert monitor.suffering_nodes() == ["node-1"]
+        assert monitor.suffering_nodes(threshold=5.0) == []
+
+
+class TestReport:
+    def test_report_structure(self, sim, monitor):
+        process = make_process(sim)
+        monitor.watch("flow", [process])
+        monitor.start()
+        sim.clock.run_until(60.0)
+        report = monitor.report()
+        assert "flow/f" in report["operation_rates"]
+        assert "node-0" in report["node_utilization"]
+        assert report["assignments"]["flow/f"] == "node-0"
+        assert "network" in report
+
+    def test_dashboard_renders(self, sim, monitor, make_tuple):
+        process = make_process(sim)
+        monitor.watch("flow", [process])
+        monitor.start()
+        process.receive(make_tuple(0))
+        sim.clock.run_until(60.0)
+        monitor.record_assignment("flow/f", "node-0", "node-1", "test")
+        text = monitor.render_dashboard()
+        assert "flow/f" in text
+        assert "node-0" in text
+        assert "reassignments" in text
+
+    def test_unwatch_removes_assignments(self, sim, monitor):
+        process = make_process(sim)
+        monitor.watch("flow", [process])
+        monitor.unwatch("flow")
+        assert monitor.current_assignments() == {}

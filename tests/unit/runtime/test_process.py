@@ -1,0 +1,126 @@
+"""Unit tests for operator processes on nodes."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.runtime.process import OperatorProcess
+from repro.streams.aggregate import AggregationOperator
+from repro.streams.filter import FilterOperator
+from repro.streams.sink import ListSink
+
+
+@pytest.fixture
+def sim() -> NetworkSimulator:
+    return NetworkSimulator(topology=Topology.line(3))
+
+
+class TestLifecycle:
+    def test_registers_on_node(self, sim):
+        process = OperatorProcess("p1", FilterOperator("temperature > 0"),
+                                  "node-0", sim)
+        assert "p1" in sim.topology.node("node-0").processes
+
+    def test_stop_unregisters(self, sim):
+        process = OperatorProcess("p1", FilterOperator("temperature > 0"),
+                                  "node-0", sim)
+        process.start()
+        process.stop()
+        assert "p1" not in sim.topology.node("node-0").processes
+
+    def test_double_start_raises(self, sim):
+        process = OperatorProcess("p1", FilterOperator("true"), "node-0", sim)
+        process.start()
+        with pytest.raises(DeploymentError):
+            process.start()
+
+    def test_blocking_operator_gets_timer(self, sim, make_tuple):
+        agg = AggregationOperator(interval=60.0, attributes=["temperature"],
+                                  function="AVG")
+        process = OperatorProcess("p1", agg, "node-0", sim)
+        sink = OperatorProcess("p2", ListSink(), "node-0", sim)
+        process.add_route(sink)
+        process.start()
+        process.receive(make_tuple(0, temperature=10.0))
+        sim.clock.run_until(120.0)
+        assert len(sink.operator.received) == 1
+
+    def test_stop_cancels_timer(self, sim, make_tuple):
+        agg = AggregationOperator(interval=60.0, attributes=["temperature"],
+                                  function="AVG")
+        process = OperatorProcess("p1", agg, "node-0", sim)
+        sink = OperatorProcess("p2", ListSink(), "node-0", sim)
+        process.add_route(sink)
+        process.start()
+        process.receive(make_tuple(0))
+        process.stop()
+        sim.clock.run_until(600.0)
+        assert sink.operator.received == []
+
+
+class TestDataPath:
+    def test_emissions_forwarded_over_network(self, sim, make_tuple):
+        filter_ = OperatorProcess(
+            "f", FilterOperator("temperature > 24"), "node-0", sim
+        )
+        sink = OperatorProcess("k", ListSink(), "node-2", sim)
+        filter_.add_route(sink)
+        filter_.start()
+        sink.start()
+        filter_.receive(make_tuple(0, temperature=30.0))
+        filter_.receive(make_tuple(1, temperature=10.0))
+        sim.clock.run()
+        assert len(sink.operator.received) == 1
+        assert sim.total_link_bytes() > 0
+
+    def test_dead_node_processes_nothing(self, sim, make_tuple):
+        process = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        sink = OperatorProcess("k", ListSink(), "node-0", sim)
+        process.add_route(sink)
+        sim.topology.node("node-0").fail()
+        process.receive(make_tuple(0))
+        sim.clock.run()
+        assert process.operator.stats.tuples_in == 0
+
+    def test_work_accounted(self, sim, make_tuple):
+        process = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        for i in range(10):
+            process.receive(make_tuple(i))
+        assert sim.topology.node("node-0").work_done == pytest.approx(10.0)
+
+
+class TestMigration:
+    def test_move_transfers_registration(self, sim):
+        process = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        process.move_to("node-1")
+        assert process.node_id == "node-1"
+        assert "f" not in sim.topology.node("node-0").processes
+        assert "f" in sim.topology.node("node-1").processes
+
+    def test_move_to_same_node_is_noop(self, sim):
+        process = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        process.move_to("node-0")
+        assert "f" in sim.topology.node("node-0").processes
+
+    def test_forwarding_uses_new_location(self, sim, make_tuple):
+        source = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        sink = OperatorProcess("k", ListSink(), "node-1", sim)
+        source.add_route(sink)
+        sink.move_to("node-2")
+        source.receive(make_tuple(0))
+        sim.clock.run()
+        assert len(sink.operator.received) == 1
+        # Traffic crossed both hops to node-2.
+        assert sim.topology.link("node-1", "node-2").messages_transferred == 1
+
+
+class TestLoadSampling:
+    def test_demand_follows_rate(self, sim, make_tuple):
+        process = OperatorProcess("f", FilterOperator("true"), "node-0", sim)
+        process.sample_load(0.0)
+        for i in range(100):
+            process.receive(make_tuple(i))
+        demand = process.sample_load(10.0)
+        assert demand == pytest.approx(10.0)  # 10 tuples/s x cost 1.0
+        assert sim.topology.node("node-0").load == pytest.approx(10.0)

@@ -1,0 +1,79 @@
+"""Unit tests for metric primitives."""
+
+import pytest
+
+from repro.runtime.stats import RateEstimator, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_reductions(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(10.0, 3.0)
+        series.record(20.0, 2.0)
+        assert series.last == 2.0
+        assert series.mean() == 2.0
+        assert series.maximum() == 3.0
+        assert len(series) == 3
+
+    def test_empty_reductions(self):
+        series = TimeSeries("x")
+        assert series.last is None
+        assert series.mean() == 0.0
+        assert series.maximum() == 0.0
+
+    def test_backwards_time_raises(self):
+        series = TimeSeries("x")
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5.0, 2.0)
+
+    def test_equal_time_allowed(self):
+        series = TimeSeries("x")
+        series.record(10.0, 1.0)
+        series.record(10.0, 2.0)
+        assert len(series) == 2
+
+    def test_since(self):
+        series = TimeSeries("x")
+        for t in range(5):
+            series.record(float(t), float(t))
+        assert series.since(3.0) == [(3.0, 3.0), (4.0, 4.0)]
+
+    def test_values_times(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.values() == [10.0, 20.0]
+        assert series.times() == [1.0, 2.0]
+
+
+class TestRateEstimator:
+    def test_first_observation_is_zero(self):
+        rate = RateEstimator()
+        assert rate.observe(0.0, 100.0) == 0.0
+
+    def test_rate_over_window(self):
+        rate = RateEstimator()
+        rate.observe(0.0, 0.0)
+        assert rate.observe(10.0, 50.0) == 5.0
+        assert rate.observe(20.0, 150.0) == 10.0
+
+    def test_no_time_passed_keeps_rate(self):
+        rate = RateEstimator()
+        rate.observe(0.0, 0.0)
+        rate.observe(10.0, 50.0)
+        assert rate.observe(10.0, 60.0) == 5.0  # unchanged
+
+    def test_counter_reset_clamped_to_zero(self):
+        rate = RateEstimator()
+        rate.observe(0.0, 100.0)
+        assert rate.observe(10.0, 0.0) == 0.0  # never negative
+
+    def test_reset(self):
+        rate = RateEstimator()
+        rate.observe(0.0, 0.0)
+        rate.observe(10.0, 100.0)
+        rate.reset()
+        assert rate.rate == 0.0
+        assert rate.observe(20.0, 500.0) == 0.0  # first after reset

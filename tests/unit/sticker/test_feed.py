@@ -1,0 +1,79 @@
+"""Unit tests for the Sticker feed."""
+
+import math
+
+import pytest
+
+from repro.errors import StreamLoaderError
+from repro.sticker.feed import StickerFeed
+
+
+class TestBinning:
+    def test_bins_by_time_bucket(self, make_tuple):
+        feed = StickerFeed(bucket_seconds=3600.0)
+        feed.push(make_tuple(0, time=100.0))
+        feed.push(make_tuple(1, time=200.0))
+        feed.push(make_tuple(2, time=4000.0))
+        bins = feed.bins()
+        assert len(bins) == 2
+        assert bins[0].count == 2 and bins[1].count == 1
+
+    def test_bins_by_theme(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, themes=("weather/rain",)))
+        feed.push(make_tuple(1, themes=("mobility/traffic",)))
+        assert feed.themes() == ["mobility/traffic", "weather/rain"]
+
+    def test_multi_theme_tuple_lands_in_each(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, themes=("weather/rain", "disaster/flood")))
+        assert len(feed.bins()) == 2
+
+    def test_untagged_bucket(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, themes=()))
+        assert feed.themes() == ["(untagged)"]
+
+    def test_numeric_means(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, temperature=10.0))
+        feed.push(make_tuple(1, temperature=20.0))
+        bin_ = feed.bins()[0]
+        assert bin_.mean("temperature") == 15.0
+        assert math.isnan(bin_.mean("nonexistent"))
+
+    def test_invalid_bucket_raises(self):
+        with pytest.raises(StreamLoaderError):
+            StickerFeed(bucket_seconds=0.0)
+
+
+class TestSeries:
+    def test_time_ordered_merged_over_space(self, make_tuple):
+        feed = StickerFeed(bucket_seconds=3600.0)
+        # Same bucket, two different cells.
+        feed.push(make_tuple(0, time=100.0, lat=34.60, lon=135.40))
+        feed.push(make_tuple(1, time=200.0, lat=34.75, lon=135.60))
+        feed.push(make_tuple(2, time=4000.0))
+        series = feed.series("weather/temperature")
+        assert [point.count for point in series] == [2, 1]
+        assert series[0].bucket_start < series[1].bucket_start
+
+    def test_theme_matching_is_hierarchical(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, themes=("weather/rain",)))
+        assert feed.series("weather")[0].count == 1
+
+    def test_empty_series(self, make_tuple):
+        feed = StickerFeed()
+        assert feed.series("social") == []
+
+
+class TestJsonDocuments:
+    def test_documents_shape(self, make_tuple):
+        feed = StickerFeed()
+        feed.push(make_tuple(0, temperature=25.0))
+        docs = feed.to_json_documents()
+        assert len(docs) == 1
+        doc = docs[0]
+        assert set(doc) == {"bucket_start", "cell", "theme", "count", "means"}
+        assert doc["means"]["temperature"] == 25.0

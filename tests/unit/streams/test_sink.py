@@ -1,0 +1,45 @@
+"""Unit tests for sinks."""
+
+from repro.streams.sink import CallbackSink, CountingSink, ListSink
+
+
+class TestListSink:
+    def test_collects_in_order(self, make_tuple):
+        sink = ListSink()
+        for i in range(3):
+            assert sink.on_tuple(make_tuple(i)) == []
+        assert [t.seq for t in sink.received] == [0, 1, 2]
+
+    def test_reset_clears(self, make_tuple):
+        sink = ListSink()
+        sink.on_tuple(make_tuple(0))
+        sink.reset()
+        assert sink.received == []
+
+
+class TestCallbackSink:
+    def test_invokes_callback(self, make_tuple):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.on_tuple(make_tuple(0))
+        assert len(seen) == 1
+
+    def test_counts_stats(self, make_tuple):
+        sink = CallbackSink(lambda t: None)
+        sink.on_tuple(make_tuple(0))
+        assert sink.stats.tuples_in == 1
+        assert sink.stats.tuples_out == 0
+
+
+class TestCountingSink:
+    def test_counts_without_retaining(self, make_tuple):
+        sink = CountingSink()
+        for i in range(100):
+            sink.on_tuple(make_tuple(i))
+        assert sink.count == 100
+
+    def test_reset(self, make_tuple):
+        sink = CountingSink()
+        sink.on_tuple(make_tuple(0))
+        sink.reset()
+        assert sink.count == 0

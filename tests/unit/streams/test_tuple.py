@@ -1,0 +1,76 @@
+"""Unit tests for sensor tuples."""
+
+import pytest
+
+from repro.streams.tuple import SensorTuple, estimate_size_bytes
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+
+class TestImmutability:
+    def test_payload_is_read_only(self, make_tuple):
+        tuple_ = make_tuple(0)
+        with pytest.raises(TypeError):
+            tuple_.payload["temperature"] = 99.0
+
+    def test_with_updates_leaves_original(self, make_tuple):
+        original = make_tuple(0, temperature=20.0)
+        updated = original.with_updates(temperature=25.0)
+        assert original["temperature"] == 20.0
+        assert updated["temperature"] == 25.0
+
+    def test_values_copy_is_detached(self, make_tuple):
+        tuple_ = make_tuple(0)
+        values = tuple_.values()
+        values["temperature"] = -1.0
+        assert tuple_["temperature"] != -1.0
+
+
+class TestAccess:
+    def test_getitem_get_contains(self, make_tuple):
+        tuple_ = make_tuple(0, temperature=21.5)
+        assert tuple_["temperature"] == 21.5
+        assert tuple_.get("missing", "default") == "default"
+        assert "humidity" in tuple_
+        assert "missing" not in tuple_
+
+    def test_time_shortcut(self, make_tuple):
+        assert make_tuple(0, time=42.0).time == 42.0
+
+    def test_with_stamp_and_relabelled(self, make_tuple):
+        tuple_ = make_tuple(0)
+        new_stamp = SttStamp(time=99.0, location=Point(0, 0))
+        restamped = tuple_.with_stamp(new_stamp)
+        assert restamped.time == 99.0
+        assert tuple_.time == 0.0
+        assert tuple_.relabelled("other").source == "other"
+
+
+class TestToEvent:
+    def test_whole_payload(self, make_tuple):
+        event = make_tuple(0, temperature=25.0).to_event()
+        assert event.value["temperature"] == 25.0
+        assert event.source == "sensor-1"
+
+    def test_single_attribute(self, make_tuple):
+        event = make_tuple(0, temperature=25.0).to_event("temperature")
+        assert event.value == 25.0
+
+    def test_missing_attribute_raises(self, make_tuple):
+        with pytest.raises(KeyError):
+            make_tuple(0).to_event("missing")
+
+
+class TestSizeEstimate:
+    def test_monotone_in_payload(self, make_tuple):
+        small = make_tuple(0, station="a")
+        large = make_tuple(0, station="a" * 100)
+        assert estimate_size_bytes(large) > estimate_size_bytes(small)
+
+    def test_deterministic(self, make_tuple):
+        tuple_ = make_tuple(0)
+        assert estimate_size_bytes(tuple_) == estimate_size_bytes(tuple_)
+
+    def test_envelope_minimum(self):
+        empty = SensorTuple(payload={}, stamp=SttStamp(0.0, Point(0, 0)))
+        assert estimate_size_bytes(empty) >= 48

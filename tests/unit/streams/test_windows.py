@@ -1,0 +1,67 @@
+"""Unit tests for tuple caches."""
+
+import pytest
+
+from repro.errors import StreamLoaderError
+from repro.streams.windows import TupleCache
+
+
+class TestBasics:
+    def test_add_and_len(self, make_tuple):
+        cache = TupleCache()
+        cache.add(make_tuple(0))
+        cache.add(make_tuple(1))
+        assert len(cache) == 2
+        assert bool(cache)
+
+    def test_drain_empties(self, make_tuple):
+        cache = TupleCache()
+        for i in range(5):
+            cache.add(make_tuple(i))
+        drained = cache.drain()
+        assert len(drained) == 5
+        assert len(cache) == 0
+        assert [t.seq for t in drained] == [0, 1, 2, 3, 4]
+
+    def test_snapshot_does_not_evict(self, make_tuple):
+        cache = TupleCache()
+        cache.add(make_tuple(0))
+        assert len(cache.snapshot()) == 1
+        assert len(cache) == 1
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(StreamLoaderError):
+            TupleCache(max_tuples=0)
+
+
+class TestBounds:
+    def test_eviction_when_full(self, make_tuple):
+        cache = TupleCache(max_tuples=3)
+        for i in range(5):
+            cache.add(make_tuple(i))
+        assert len(cache) == 3
+        assert cache.evicted == 2
+        assert [t.seq for t in cache] == [2, 3, 4]  # oldest evicted
+
+
+class TestPrune:
+    def test_prune_by_time(self, make_tuple):
+        cache = TupleCache()
+        for i in range(10):
+            cache.add(make_tuple(i, time=float(i * 10)))
+        pruned = cache.prune(before=45.0)
+        assert pruned == 5
+        assert [t.stamp.time for t in cache] == [50.0, 60.0, 70.0, 80.0, 90.0]
+
+    def test_prune_nothing(self, make_tuple):
+        cache = TupleCache()
+        cache.add(make_tuple(0, time=100.0))
+        assert cache.prune(before=50.0) == 0
+        assert len(cache) == 1
+
+    def test_prune_everything(self, make_tuple):
+        cache = TupleCache()
+        for i in range(3):
+            cache.add(make_tuple(i, time=float(i)))
+        assert cache.prune(before=1e9) == 3
+        assert not cache

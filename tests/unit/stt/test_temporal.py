@@ -1,0 +1,122 @@
+"""Unit tests for instants, intervals, granules, alignment."""
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.stt.temporal import (
+    Instant,
+    Interval,
+    align_instant,
+    granule_index,
+)
+
+_DAY = 86400.0
+
+
+class TestAlignment:
+    def test_align_second_is_floor(self):
+        assert align_instant(12.7, "second") == 12.0
+
+    def test_align_minute(self):
+        assert align_instant(125.0, "minute") == 120.0
+
+    def test_align_hour(self):
+        assert align_instant(3725.0, "hour") == 3600.0
+
+    def test_align_day(self):
+        assert align_instant(2.5 * _DAY, "day") == 2 * _DAY
+
+    def test_align_is_idempotent(self):
+        for gran in ("second", "minute", "hour", "day", "week", "month", "year"):
+            aligned = align_instant(12345678.9, gran)
+            assert align_instant(aligned, gran) == aligned
+
+    def test_align_month_boundaries(self):
+        # January is 31 days: a time in early February aligns to Jan 31 end.
+        jan_31 = 31 * _DAY
+        assert align_instant(jan_31 + 5.0, "month") == jan_31
+        assert align_instant(jan_31 - 5.0, "month") == 0.0
+
+    def test_align_year(self):
+        year = 365 * _DAY
+        assert align_instant(year + 100.0, "year") == year
+        assert align_instant(year - 100.0, "year") == 0.0
+
+    def test_align_never_exceeds_input(self):
+        for t in (0.0, 59.0, 3600.0, 1e7, 3.2e7):
+            for gran in ("second", "minute", "hour", "day", "month", "year"):
+                assert align_instant(t, gran) <= t
+
+
+class TestGranuleIndex:
+    def test_same_granule_same_index(self):
+        assert granule_index(3601.0, "hour") == granule_index(3700.0, "hour")
+
+    def test_adjacent_granules_differ(self):
+        assert granule_index(3599.0, "hour") != granule_index(3600.0, "hour")
+
+    def test_month_index_increases_across_boundary(self):
+        jan_31 = 31 * _DAY
+        assert granule_index(jan_31, "month") == granule_index(jan_31 + 10, "month")
+        assert granule_index(jan_31 - 10, "month") < granule_index(jan_31, "month")
+
+    def test_year_index(self):
+        year = 365 * _DAY
+        assert granule_index(0.0, "year") == 0
+        assert granule_index(year + 1.0, "year") == 1
+
+
+class TestInstant:
+    def test_granule_bounds_contain_instant(self):
+        instant = Instant(3725.0, "hour")
+        granule = instant.granule()
+        assert granule.start == 3600.0
+        assert granule.end == 7200.0
+        assert granule.contains(instant)
+
+    def test_coarsen_aligns(self):
+        instant = Instant(3725.0, "second")
+        coarse = instant.coarsened("hour")
+        assert coarse.seconds == 3600.0
+        assert coarse.granularity.name == "hour"
+
+    def test_coarsen_to_finer_raises(self):
+        with pytest.raises(GranularityError):
+            Instant(3725.0, "hour").coarsened("second")
+
+    def test_same_granule_uses_coarser_of_the_two(self):
+        fine = Instant(3605.0, "second")
+        coarse = Instant(3900.0, "hour")
+        assert fine.same_granule(coarse)
+        other_hour = Instant(7300.0, "hour")
+        assert not fine.same_granule(other_hour)
+
+
+class TestInterval:
+    def test_contains_is_half_open(self):
+        interval = Interval(10.0, 20.0)
+        assert interval.contains(10.0)
+        assert interval.contains(19.999)
+        assert not interval.contains(20.0)
+        assert not interval.contains(9.999)
+
+    def test_contains_instant(self):
+        assert Interval(0.0, 100.0).contains(Instant(50.0, "second"))
+
+    def test_backwards_raises(self):
+        with pytest.raises(GranularityError):
+            Interval(20.0, 10.0)
+
+    def test_zero_length_allowed_but_empty(self):
+        interval = Interval(10.0, 10.0)
+        assert interval.length == 0.0
+        assert not interval.contains(10.0)
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))  # half-open
+
+    def test_intersection(self):
+        result = Interval(0, 10).intersection(Interval(5, 15))
+        assert result == Interval(5, 10)
+        assert Interval(0, 10).intersection(Interval(20, 30)) is None

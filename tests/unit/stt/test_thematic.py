@@ -1,0 +1,88 @@
+"""Unit tests for themes and the taxonomy."""
+
+import pytest
+
+from repro.errors import SttError
+from repro.stt.thematic import DEFAULT_TAXONOMY, Theme, ThemeTaxonomy
+
+
+class TestTheme:
+    def test_normalisation(self):
+        assert Theme(" /Weather/Rain/ ").path == "weather/rain"
+
+    def test_empty_raises(self):
+        with pytest.raises(SttError):
+            Theme("   ")
+
+    def test_invalid_segment_raises(self):
+        with pytest.raises(SttError):
+            Theme("weather/ra in")
+
+    def test_parent_chain(self):
+        theme = Theme("a/b/c")
+        assert theme.parent == Theme("a/b")
+        assert theme.parent.parent == Theme("a")
+        assert theme.parent.parent.parent is None
+
+    def test_root(self):
+        assert Theme("weather/rain").root == Theme("weather")
+        assert Theme("weather").root == Theme("weather")
+
+    def test_subtheme_relation(self):
+        assert Theme("weather/rain").is_subtheme_of("weather")
+        assert Theme("weather").is_subtheme_of("weather")
+        assert not Theme("weather").is_subtheme_of("weather/rain")
+        # Prefix is segment-wise: "weatherx" is not under "weather".
+        assert not Theme("weatherx").is_subtheme_of("weather")
+
+    def test_matches_is_symmetric(self):
+        a, b = Theme("weather/rain"), Theme("weather")
+        assert a.matches(b) and b.matches(a)
+        assert not Theme("weather").matches(Theme("mobility"))
+
+
+class TestTaxonomy:
+    def test_register_adds_ancestors(self):
+        taxonomy = ThemeTaxonomy()
+        taxonomy.register("a/b/c")
+        assert taxonomy.known("a/b")
+        assert taxonomy.known("a")
+        assert len(taxonomy) == 3
+
+    def test_validate_rejects_unknown(self):
+        taxonomy = ThemeTaxonomy(["weather/rain"])
+        with pytest.raises(SttError, match="not part of the taxonomy"):
+            taxonomy.validate("wheather/rain")
+
+    def test_validate_accepts_known(self):
+        taxonomy = ThemeTaxonomy(["weather/rain"])
+        assert taxonomy.validate("weather/rain") == Theme("weather/rain")
+
+    def test_children(self):
+        taxonomy = ThemeTaxonomy(["x/a", "x/b", "x/a/deep", "y"])
+        children = taxonomy.children("x")
+        assert children == [Theme("x/a"), Theme("x/b")]
+
+    def test_roots(self):
+        taxonomy = ThemeTaxonomy(["x/a", "y/b"])
+        assert taxonomy.roots() == [Theme("x"), Theme("y")]
+
+    def test_contains_protocol(self):
+        taxonomy = ThemeTaxonomy(["weather/rain"])
+        assert "weather" in taxonomy
+        assert Theme("weather/rain") in taxonomy
+        assert "nope" not in taxonomy
+        assert 42 not in taxonomy
+
+
+class TestDefaultTaxonomy:
+    @pytest.mark.parametrize("path", [
+        "weather/temperature", "weather/rain", "sea/water-level",
+        "mobility/traffic", "social/twitter", "disaster/flood",
+    ])
+    def test_paper_sensor_families_present(self, path):
+        assert DEFAULT_TAXONOMY.known(path)
+
+    def test_roots_cover_physical_and_social(self):
+        roots = {theme.path for theme in DEFAULT_TAXONOMY.roots()}
+        assert {"weather", "sea", "mobility", "social"} <= roots

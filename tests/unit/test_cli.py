@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.ops import FilterSpec
+from repro.dataflow.serialize import dataflow_to_dict
+from repro.pubsub.subscription import SubscriptionFilter
+
+
+def canvas_document(valid=True) -> dict:
+    flow = Dataflow("cli-canvas")
+    src = flow.add_source(
+        SubscriptionFilter(sensor_ids=("osaka-temp-umeda",)), node_id="src"
+    )
+    condition = "temperature > 24" if valid else "ghost > 1"
+    op = flow.add_operator(FilterSpec(condition), node_id="hot")
+    sink = flow.add_sink(node_id="out")
+    flow.connect(src, op)
+    flow.connect(op, sink)
+    return dataflow_to_dict(flow)
+
+
+class TestOperators:
+    def test_lists_all_ten(self, capsys):
+        assert main(["operators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("filter", "join", "trigger-on", "cull-space"):
+            assert name in out
+
+
+class TestSensors:
+    def test_lists_fleet(self, capsys):
+        assert main(["sensors"]) == 0
+        out = capsys.readouterr().out
+        assert "osaka-temp-umeda" in out
+        assert "weather/temperature" in out
+
+    def test_extended_roster(self, capsys):
+        assert main(["sensors", "--extended"]) == 0
+        assert "osaka-tide-port" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_valid_canvas(self, tmp_path, capsys):
+        path = tmp_path / "canvas.json"
+        path.write_text(json.dumps(canvas_document(valid=True)))
+        assert main(["validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_canvas(self, tmp_path, capsys):
+        path = tmp_path / "canvas.json"
+        path.write_text(json.dumps(canvas_document(valid=False)))
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "ghost" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/canvas.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTranslate:
+    def test_prints_dsn(self, tmp_path, capsys):
+        path = tmp_path / "canvas.json"
+        path.write_text(json.dumps(canvas_document(valid=True)))
+        assert main(["translate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('dsn "cli-canvas" {')
+        from repro.dsn.parse import parse_dsn
+
+        parse_dsn(out)  # the printed artifact is valid DSN
+
+    def test_invalid_canvas_fails(self, tmp_path, capsys):
+        path = tmp_path / "canvas.json"
+        path.write_text(json.dumps(canvas_document(valid=False)))
+        assert main(["translate", str(path)]) == 1
+
+
+class TestScenario:
+    def test_hot_run(self, capsys):
+        assert main(["scenario", "--hours", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "StreamLoader monitor" in out
+        assert "activated" in out
+
+    def test_cool_run(self, capsys):
+        assert main(["scenario", "--hours", "6", "--cool"]) == 0
+        out = capsys.readouterr().out
+        assert "trigger never fired" in out
