@@ -160,14 +160,41 @@ class ScnController:
         by_name = {service.name: service for service in program.services}
         return [by_name[name] for name in order]
 
+    def replace_service(
+        self,
+        service_name: str,
+        upstream_nodes: list[str],
+        demand: float,
+        avoid: "set[str] | None" = None,
+    ) -> PlacementDecision:
+        """Re-place one displaced service on a surviving node.
+
+        The failure-recovery entry point: same scoring as initial
+        placement (load plus network distance to the upstream nodes), over
+        live nodes minus ``avoid`` (the dead node, in case it races the
+        liveness flag).  Raises :class:`PlacementError` when no live node
+        remains.
+        """
+        service = DsnService(
+            role=ServiceRole.OPERATOR, name=service_name, kind="recovered"
+        )
+        return self._score_nodes(
+            service, upstream_nodes, demand, projected={}, avoid=avoid
+        )
+
     def _score_nodes(
         self,
         service: DsnService,
         upstream_nodes: list[str],
         demand: float,
         projected: dict[str, float],
+        avoid: "set[str] | None" = None,
     ) -> PlacementDecision:
-        candidates = self.topology.live_nodes()
+        candidates = [
+            node
+            for node in self.topology.live_nodes()
+            if not avoid or node.node_id not in avoid
+        ]
         if not candidates:
             raise PlacementError(f"no live nodes to place {service.name!r}")
         best: "tuple[float, str] | None" = None

@@ -184,6 +184,10 @@ class LifecycleError(RuntimeExecutionError):
     """Illegal lifecycle transition (e.g. modifying a torn-down flow)."""
 
 
+class CheckpointError(RuntimeExecutionError):
+    """A state snapshot could not be taken or restored."""
+
+
 # ---------------------------------------------------------------------------
 # Warehouse
 

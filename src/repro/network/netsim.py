@@ -75,6 +75,7 @@ class NetworkSimulator:
         size_bytes: float,
         on_delivery: Callable[[object], None],
         qos: "QosPolicy | None" = None,
+        on_drop: "Callable[[Message, str], None] | None" = None,
     ) -> "Message | None":
         """Route a message and schedule its delivery.
 
@@ -82,6 +83,13 @@ class NetworkSimulator:
         scheduling delay, consistent with the in-process queues of
         co-located operators.  Returns the message, or None if it was
         dropped (no route, or latency budget exceeded).
+
+        ``on_drop`` is a per-message loss callback invoked with
+        ``(message, reason)`` whenever this particular message is dropped —
+        at send time (no route, QoS budget) or at delivery time (target
+        died in flight).  Senders that guarantee redelivery (the broker's
+        retry path) hang their retry logic off it; the global
+        :attr:`on_drop` hook still fires for every loss.
         """
         policy = qos or self.default_qos
         message = Message(
@@ -95,13 +103,15 @@ class NetworkSimulator:
         self.stats.bytes_sent += size_bytes
 
         if source == target:
-            self.clock.schedule(0.0, lambda: self._deliver(message, on_delivery))
+            self.clock.schedule(
+                0.0, lambda: self._deliver(message, on_delivery, on_drop)
+            )
             return message
 
         try:
             path = self.topology.route(source, target)
         except UnreachableError as exc:
-            self._drop(message, str(exc))
+            self._drop(message, str(exc), on_drop)
             return None
 
         segments = policy.segments(size_bytes)
@@ -119,24 +129,55 @@ class NetworkSimulator:
                 message,
                 f"route latency {delay:.4f}s exceeds QoS budget "
                 f"{policy.max_latency}s",
+                on_drop,
             )
             return None
-        self.clock.schedule(delay, lambda: self._deliver(message, on_delivery))
+        self.clock.schedule(
+            delay, lambda: self._deliver(message, on_delivery, on_drop)
+        )
         return message
 
-    def _deliver(self, message: Message, on_delivery: Callable[[object], None]) -> None:
+    def _deliver(
+        self,
+        message: Message,
+        on_delivery: Callable[[object], None],
+        on_drop: "Callable[[Message, str], None] | None" = None,
+    ) -> None:
         # A node that died while the message was in flight loses it.
         if message.target in self.topology and not self.topology.node(message.target).up:
-            self._drop(message, f"target node {message.target!r} is down")
+            self._drop(message, f"target node {message.target!r} is down", on_drop)
             return
         self.stats.messages_delivered += 1
         self.stats.total_delay += self.clock.now - message.sent_at
         on_delivery(message.payload)
 
-    def _drop(self, message: Message, reason: str) -> None:
+    def _drop(
+        self,
+        message: Message,
+        reason: str,
+        on_drop: "Callable[[Message, str], None] | None" = None,
+    ) -> None:
         self.stats.messages_dropped += 1
+        if on_drop is not None:
+            on_drop(message, reason)
         if self.on_drop is not None:
             self.on_drop(message, reason)
+
+    # -- fault injection ------------------------------------------------------
+
+    def kill_node(self, node_id: str) -> None:
+        """Fail a node mid-run (fault-injection API).
+
+        The node stops processing immediately: in-flight messages to it are
+        lost at delivery time, routes stop traversing it, and its operator
+        processes fall silent — which is what the monitor's heartbeat-based
+        failure detector eventually notices.
+        """
+        self.topology.node(node_id).fail()
+
+    def revive_node(self, node_id: str) -> None:
+        """Bring a killed node back (it rejoins routing and processing)."""
+        self.topology.node(node_id).recover()
 
     # -- traffic accounting ---------------------------------------------------
 

@@ -34,6 +34,8 @@ class NetworkNode:
     _demands: dict[str, float] = field(default_factory=dict)
     #: cumulative cost-units of work executed.
     work_done: float = 0.0
+    #: number of times this node has failed (fault-injection statistics).
+    failures: int = 0
 
     def __post_init__(self) -> None:
         if not self.node_id:
@@ -95,6 +97,9 @@ class NetworkNode:
     # -- failure injection ----------------------------------------------------
 
     def fail(self) -> None:
+        """Take the node down; counted once per up->down transition."""
+        if self.up:
+            self.failures += 1
         self.up = False
 
     def recover(self) -> None:

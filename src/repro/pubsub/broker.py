@@ -10,6 +10,12 @@ each matching *active* subscriber.
 Paused subscriptions suppress traffic **at the source**: no message is sent
 for them, which is precisely why the paper's trigger-gated acquisition
 saves network resources rather than merely hiding data.
+
+Delivery is **at-most-once with bounded retry**: a data message lost in the
+network (no route, QoS budget, target died in flight) is retransmitted with
+exponential backoff up to :class:`RetryPolicy.max_attempts` times; a tuple
+whose budget is exhausted lands in the subscription's dead-letter queue and
+is surfaced through the monitor instead of vanishing silently.
 """
 
 from __future__ import annotations
@@ -25,6 +31,36 @@ from repro.streams.tuple import SensorTuple, estimate_size_bytes
 
 #: Wire size of a sensor advertisement (id + type + schema summary).
 _ADVERTISEMENT_BYTES = 256
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for data-message redelivery.
+
+    Attempt ``n`` (1-based; the first retry is attempt 1) is scheduled
+    ``base_delay * multiplier**(n-1)`` seconds after the loss, capped at
+    ``max_delay``.  ``max_attempts`` retries happen before a tuple is
+    dead-lettered, so a tuple is transmitted at most ``max_attempts + 1``
+    times — the documented at-most-once bound.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise PubSubError(f"max_attempts must be >= 0: {self.max_attempts}")
+        if self.base_delay <= 0 or self.multiplier < 1.0 or self.max_delay <= 0:
+            raise PubSubError(
+                f"invalid backoff: base {self.base_delay}, "
+                f"multiplier {self.multiplier}, cap {self.max_delay}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
 
 
 @dataclass
@@ -62,17 +98,23 @@ class BrokerNetwork:
         self,
         netsim: "NetworkSimulator | None" = None,
         registry: "SensorRegistry | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self.netsim = netsim
         self.registry = registry if registry is not None else SensorRegistry()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._brokers: dict[str, Broker] = {}
         #: sensor_id -> matching subscriptions (rebuilt on membership change).
         self._routes: dict[str, list[Subscription]] = {}
         self.on_sensor_published: "Callable[[SensorMetadata], None] | None" = None
         self.on_sensor_unpublished: "Callable[[SensorMetadata], None] | None" = None
+        #: Called with (subscription, tuple, reason) when retries exhaust.
+        self.on_dead_letter: "Callable[[Subscription, SensorTuple, str], None] | None" = None
         self.advertisements_sent = 0
         self.data_messages_sent = 0
         self.data_messages_suppressed = 0
+        self.data_messages_retried = 0
+        self.data_messages_dead_lettered = 0
 
     # -- broker membership ---------------------------------------------------
 
@@ -180,7 +222,9 @@ class BrokerNetwork:
         Returns the number of deliveries initiated.  Inactive (paused)
         subscriptions generate **no** traffic and are counted as
         suppressed — trigger-gated acquisition saves the network, not just
-        the screen.
+        the screen.  A lost message is retried per :attr:`retry_policy`;
+        when the budget exhausts, the tuple is dead-lettered on the
+        subscription rather than silently dropped.
         """
         metadata = self.registry.get(sensor_id)
         initiated = 0
@@ -194,11 +238,47 @@ class BrokerNetwork:
             if self.netsim is None:
                 subscription.deliver(tuple_)
                 continue
-            self.netsim.send(
-                source=metadata.node_id,
-                target=subscription.node_id,
-                payload=tuple_,
-                size_bytes=estimate_size_bytes(tuple_),
-                on_delivery=subscription.deliver,
-            )
+            self._transmit(metadata, subscription, tuple_, attempt=0)
         return initiated
+
+    def _transmit(
+        self,
+        metadata: SensorMetadata,
+        subscription: Subscription,
+        tuple_: SensorTuple,
+        attempt: int,
+    ) -> None:
+        """One transmission attempt; losses re-enter via ``_on_loss``."""
+        self.netsim.send(
+            source=metadata.node_id,
+            target=subscription.node_id,
+            payload=tuple_,
+            size_bytes=estimate_size_bytes(tuple_),
+            on_delivery=subscription.deliver,
+            on_drop=lambda _message, reason: self._on_loss(
+                metadata, subscription, tuple_, attempt, reason
+            ),
+        )
+
+    def _on_loss(
+        self,
+        metadata: SensorMetadata,
+        subscription: Subscription,
+        tuple_: SensorTuple,
+        attempt: int,
+        reason: str,
+    ) -> None:
+        """A data message was lost: back off and retry, or dead-letter."""
+        if attempt < self.retry_policy.max_attempts:
+            next_attempt = attempt + 1
+            subscription.retries += 1
+            self.data_messages_retried += 1
+            self.netsim.clock.schedule(
+                self.retry_policy.backoff(next_attempt),
+                lambda: self._transmit(metadata, subscription, tuple_, next_attempt),
+            )
+            return
+        self.data_messages_dead_lettered += 1
+        subscription.dead_letter(tuple_, reason, failed_at=self.netsim.clock.now)
+        if self.on_dead_letter is not None:
+            self.on_dead_letter(subscription, tuple_, reason)

@@ -21,6 +21,18 @@ from repro.stt.thematic import Theme
 
 _subscription_ids = itertools.count(1)
 
+#: Most recent dead letters retained per subscription.
+DEAD_LETTER_CAPACITY = 1000
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A tuple the broker gave up on delivering to one subscription."""
+
+    tuple: SensorTuple
+    reason: str
+    failed_at: float
+
 
 @dataclass(frozen=True)
 class SubscriptionFilter:
@@ -81,6 +93,11 @@ class Subscription:
         node_id: network node where the subscriber runs (delivery target).
         active: paused subscriptions match but do not receive data.
         subscription_id: unique, assigned at construction.
+        retries: redelivery attempts the broker made on this subscription's
+            behalf.
+        dead_letters: tuples whose delivery the broker abandoned after
+            exhausting its retry budget (most recent
+            ``DEAD_LETTER_CAPACITY`` kept).
     """
 
     filter: SubscriptionFilter
@@ -90,12 +107,22 @@ class Subscription:
     subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
     delivered: int = 0
     suppressed: int = 0
+    retries: int = 0
+    dead_letters: list[DeadLetter] = field(default_factory=list)
 
     def pause(self) -> None:
         self.active = False
 
     def resume(self) -> None:
         self.active = True
+
+    def dead_letter(self, tuple_: SensorTuple, reason: str, failed_at: float) -> DeadLetter:
+        """Record an undeliverable tuple (bounded queue, oldest evicted)."""
+        letter = DeadLetter(tuple=tuple_, reason=reason, failed_at=failed_at)
+        self.dead_letters.append(letter)
+        if len(self.dead_letters) > DEAD_LETTER_CAPACITY:
+            del self.dead_letters[0]
+        return letter
 
     def deliver(self, tuple_: SensorTuple) -> bool:
         """Deliver if active; returns whether delivery happened."""

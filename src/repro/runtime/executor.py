@@ -14,14 +14,22 @@ Deployment pipeline (Section 3 / demo part P2):
 
 The same executor hosts many deployments ("this and other dataflows that
 are under control", Figure 3).
+
+Fault tolerance: the monitor's heartbeat failure detector calls back into
+the executor when a node dies; the executor re-places the affected
+processes on surviving nodes through the SCN placement path, restores each
+blocking operator's last checkpoint, and logs the assignment change.  A
+deployment whose source set shrinks below quorum degrades (state
+``DEGRADED``) instead of erroring, and recovers when sensors republish.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import DeploymentError, LifecycleError
+from repro.errors import DeploymentError, LifecycleError, PlacementError
 from repro.dataflow.graph import Dataflow
 from repro.dsn.ast import DsnProgram, ServiceRole
 from repro.dsn.generate import dataflow_to_dsn
@@ -49,6 +57,10 @@ class _SourceBinding:
     service_name: str
     sensors: list[SensorMetadata]
     subscriptions: list[Subscription] = field(default_factory=list)
+    #: The source's discovery filter (re-matched as sensors come and go).
+    filter: "object | None" = None
+    #: Sensors matched at deploy time — the quorum reference point.
+    initial_count: int = 0
 
     @property
     def sensor_ids(self) -> set[str]:
@@ -101,6 +113,42 @@ class Deployment:
         return {name: process.node_id for name, process in self.processes.items()}
 
     # -- control ------------------------------------------------------------------
+
+    def update_source_health(self) -> None:
+        """Re-evaluate source quorum; degrade or recover accordingly.
+
+        Called by the executor whenever a sensor joins or leaves the
+        network.  Each binding re-matches its discovery filter against the
+        live registry; when any source's sensor set shrinks below the
+        executor's quorum fraction of what deployment-time discovery
+        found, the flow degrades (it keeps streaming whatever remains)
+        and automatically recovers once sensors republish.
+        """
+        if self.state not in (DeploymentState.RUNNING, DeploymentState.DEGRADED):
+            return
+        registry = self.executor.broker_network.registry
+        starved: list[str] = []
+        for binding in self.bindings.values():
+            if binding.filter is None:
+                continue
+            binding.sensors = sorted(
+                (m for m in registry.all() if binding.filter.matches(m)),
+                key=lambda m: m.sensor_id,
+            )
+            if len(binding.sensors) < self.executor.source_quorum_of(
+                binding.initial_count
+            ):
+                starved.append(binding.service_name)
+        if starved and self.state is DeploymentState.RUNNING:
+            self.state = DeploymentState.DEGRADED
+            self.executor.monitor.log(
+                self.name,
+                "degraded",
+                f"source(s) below quorum: {', '.join(sorted(starved))}",
+            )
+        elif not starved and self.state is DeploymentState.DEGRADED:
+            self.state = DeploymentState.RUNNING
+            self.executor.monitor.log(self.name, "recovered", "sources back above quorum")
 
     def pause(self) -> None:
         """Suspend acquisition (subscriptions stop producing traffic)."""
@@ -175,7 +223,13 @@ class Executor:
         warehouse: "object | None" = None,
         sticker: "object | None" = None,
         rebalance_interval: float = 300.0,
+        checkpoint_interval: float = 60.0,
+        source_quorum: float = 0.5,
     ) -> None:
+        if not (0.0 < source_quorum <= 1.0):
+            raise DeploymentError(
+                f"source_quorum must be in (0, 1]: {source_quorum}"
+            )
         self.netsim = netsim
         self.broker_network = broker_network
         self.scn = scn or ScnController(netsim.topology)
@@ -183,8 +237,55 @@ class Executor:
         self.warehouse = warehouse
         self.sticker = sticker
         self.rebalance_interval = rebalance_interval
+        #: Blocking-operator snapshot cadence (seconds of virtual time).
+        self.checkpoint_interval = checkpoint_interval
+        #: Fraction of deploy-time sensors a source must keep to stay healthy.
+        self.source_quorum = source_quorum
         self.deployments: dict[str, Deployment] = {}
+        self.monitor.on_node_dead.append(self._handle_node_death)
+        self._chain_broker_hooks()
         self.monitor.start()
+
+    def _chain_broker_hooks(self) -> None:
+        """Observe sensor churn and dead letters without displacing other
+        listeners already attached to the broker network."""
+        previous_pub = self.broker_network.on_sensor_published
+        previous_unpub = self.broker_network.on_sensor_unpublished
+        previous_dead = self.broker_network.on_dead_letter
+
+        def on_published(metadata) -> None:
+            if previous_pub is not None:
+                previous_pub(metadata)
+            self._on_sensor_churn()
+
+        def on_unpublished(metadata) -> None:
+            if previous_unpub is not None:
+                previous_unpub(metadata)
+            self._on_sensor_churn()
+
+        def on_dead_letter(subscription, tuple_, reason) -> None:
+            if previous_dead is not None:
+                previous_dead(subscription, tuple_, reason)
+            self.monitor.record_dead_letter(
+                subscription.subscription_id,
+                subscription.node_id,
+                tuple_.source,
+                reason,
+            )
+
+        self.broker_network.on_sensor_published = on_published
+        self.broker_network.on_sensor_unpublished = on_unpublished
+        self.broker_network.on_dead_letter = on_dead_letter
+
+    def _on_sensor_churn(self) -> None:
+        for deployment in self.deployments.values():
+            deployment.update_source_health()
+
+    def source_quorum_of(self, initial_count: int) -> int:
+        """Minimum live sensors a source binding needs to stay healthy."""
+        if initial_count <= 0:
+            return 0
+        return max(1, math.ceil(self.source_quorum * initial_count))
 
     # -- demand estimation -------------------------------------------------------
 
@@ -246,11 +347,16 @@ class Executor:
         deployment.placements = placements
 
         # Spawn processes for operators and sinks.
+        from repro.dsn.scn import _filter_from_params
+
         for service in program.services:
             if service.role is ServiceRole.SOURCE:
+                sensors = sensor_bindings[service.name]
                 deployment.bindings[service.name] = _SourceBinding(
                     service_name=service.name,
-                    sensors=sensor_bindings[service.name],
+                    sensors=sensors,
+                    filter=_filter_from_params(service.params),
+                    initial_count=len(sensors),
                 )
                 continue
             operator = self._build_runtime(service, deployment)
@@ -260,6 +366,8 @@ class Executor:
                 node_id=placements[service.name].node_id,
                 netsim=self.netsim,
             )
+            if operator.is_blocking:
+                process.enable_checkpoints(self.checkpoint_interval)
             node = self.netsim.topology.node(process.node_id)
             node.update_demand(process.process_id, demands.get(service.name, 0.0))
             deployment.processes[service.name] = process
@@ -349,7 +457,9 @@ class Executor:
 
     def _rebalance(self, deployment: Deployment) -> None:
         """One SCN coordination round: migrate off overloaded/dead nodes."""
-        if deployment.state is not DeploymentState.RUNNING:
+        if deployment.state not in (
+            DeploymentState.RUNNING, DeploymentState.DEGRADED
+        ):
             return
         now = self.netsim.clock.now
         self._evacuate_dead_nodes(deployment)
@@ -386,42 +496,82 @@ class Executor:
             )
 
     def _evacuate_dead_nodes(self, deployment: Deployment) -> None:
-        """Failure recovery: move processes off nodes that have died.
+        """Coordination-round backstop: move processes off dead nodes.
 
-        A process on a dead node silently drops everything sent to it; at
-        each coordination round the executor relocates such processes and
-        logs the reassignment.  All displaced processes of one deployment
-        go to the *same* live node: a dead node may have been the only
-        bridge between parts of the topology (e.g. a star's hub), and
-        co-locating keeps the deployment's internal edges deliverable.
+        The heartbeat failure detector normally reacts first (see
+        :meth:`_handle_node_death`); this catches anything it missed —
+        e.g. a node that died with the monitor stopped.
+        """
+        dead = {
+            process.node_id
+            for process in deployment.processes.values()
+            if not self.netsim.topology.node(process.node_id).up
+        }
+        for node_id in sorted(dead):
+            self._replace_processes(deployment, node_id)
+
+    def _handle_node_death(self, node_id: str) -> None:
+        """Failure-detector verdict: re-place every process of every
+        deployment that was running on the dead node."""
+        for deployment in list(self.deployments.values()):
+            if deployment.state in (
+                DeploymentState.RUNNING,
+                DeploymentState.DEGRADED,
+                DeploymentState.PAUSED,
+            ):
+                self._replace_processes(deployment, node_id)
+
+    def _replace_processes(self, deployment: Deployment, node_id: str) -> None:
+        """Move a dead node's processes to survivors and restore state.
+
+        Each displaced process is re-placed through the SCN's placement
+        scoring (load + distance to its upstream services), its blocking
+        operator restored from the last checkpoint, and its feeding
+        subscriptions re-pointed; the monitor logs each assignment change.
+        With no live node left, processes stay put until one recovers.
         """
         displaced = [
             (name, process)
             for name, process in deployment.processes.items()
-            if not self.netsim.topology.node(process.node_id).up
+            if process.node_id == node_id
+            and not self.netsim.topology.node(node_id).up
         ]
-        if not displaced:
-            return
-        candidates = self.netsim.topology.live_nodes()
-        if not candidates:
-            return  # nowhere to go; keep waiting for recovery
-        target = max(candidates, key=lambda n: n.headroom)
         for name, process in displaced:
+            upstream_nodes = [
+                deployment.placements[channel.source].node_id
+                for channel in deployment.program.channels_into(name)
+                if channel.source in deployment.placements
+            ]
+            demand = process.rate.rate * process.operator.cost_per_tuple
+            try:
+                decision = self.scn.replace_service(
+                    name, upstream_nodes, demand, avoid={node_id}
+                )
+            except PlacementError:
+                return  # nowhere to go; keep waiting for recovery
             origin = process.node_id
-            process.move_to(target.node_id)
+            reason = f"node {origin!r} is down"
+            process.move_to(decision.node_id)
+            restored = process.restore_last_checkpoint()
             for binding in deployment.bindings.values():
                 for subscription in binding.subscriptions:
                     if deployment._sub_targets.get(
                         subscription.subscription_id
                     ) is process:
-                        subscription.node_id = target.node_id
+                        subscription.node_id = decision.node_id
             deployment.placements[name] = PlacementDecision(
                 service=name,
-                node_id=target.node_id,
-                score=0.0,
-                reason=f"node {origin!r} is down",
+                node_id=decision.node_id,
+                score=decision.score,
+                reason=reason,
             )
             self.monitor.record_assignment(
-                process.process_id, origin, target.node_id,
-                f"node {origin!r} is down",
+                process.process_id, origin, decision.node_id, reason
             )
+            if restored:
+                checkpoint_time = process.last_checkpoint[0]
+                self.monitor.log(
+                    process.process_id,
+                    "checkpoint-restored",
+                    f"state from t={checkpoint_time:.1f}s on {decision.node_id}",
+                )

@@ -18,6 +18,9 @@ from repro.errors import LifecycleError, ValidationError
 class DeploymentState(Enum):
     DESIGNED = "designed"
     RUNNING = "running"
+    #: Still streaming, but a source's live sensor set fell below quorum;
+    #: recovers to RUNNING automatically when sensors republish.
+    DEGRADED = "degraded"
     PAUSED = "paused"
     STOPPED = "stopped"
 

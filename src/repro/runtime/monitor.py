@@ -9,16 +9,34 @@ flows of data of every dataflow under control.
 The monitor samples each deployment's processes on the virtual clock and
 keeps per-operation rate series, per-node utilization series, the
 assignment log, and trigger/control events.
+
+It is also the runtime's **failure detector**: every watched process emits
+a heartbeat on the sim clock, and a node whose processes all fall silent
+is marked SUSPECT after ``suspect_after`` missed beats and DEAD after
+``dead_after`` — at which point the ``on_node_dead`` callbacks fire and
+the executor re-places the affected processes.  Dead-lettered tuples from
+the broker's retry path surface here too, so "no silent loss" is an
+auditable claim rather than a hope.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
 
 from repro.network.netsim import NetworkSimulator
 from repro.runtime.process import OperatorProcess
 from repro.runtime.stats import TimeSeries
 from repro.streams.base import ControlCommand
+
+
+class NodeHealth(Enum):
+    """Failure-detector verdict on a node hosting watched processes."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
 
 
 @dataclass(frozen=True)
@@ -29,6 +47,17 @@ class AssignmentChange:
     process_id: str
     from_node: str
     to_node: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """One tuple the broker gave up delivering (surfaced, not silent)."""
+
+    time: float
+    subscription_id: int
+    node_id: str
+    source: str
     reason: str
 
 
@@ -49,23 +78,53 @@ class LogRecord:
 class Monitor:
     """Collects logs and metrics from a set of deployments."""
 
-    def __init__(self, netsim: NetworkSimulator, sample_interval: float = 60.0) -> None:
+    def __init__(
+        self,
+        netsim: NetworkSimulator,
+        sample_interval: float = 60.0,
+        heartbeat_interval: float = 30.0,
+        suspect_after: float = 2.0,
+        dead_after: float = 4.0,
+    ) -> None:
+        if not (0 < suspect_after < dead_after):
+            raise ValueError(
+                f"need 0 < suspect_after ({suspect_after}) < "
+                f"dead_after ({dead_after})"
+            )
         self.netsim = netsim
         self.sample_interval = sample_interval
+        self.heartbeat_interval = heartbeat_interval
+        #: Missed-beat thresholds, in heartbeat intervals.
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
         #: (deployment, process) -> tuples/sec series.
         self.operation_rates: dict[str, TimeSeries] = {}
         #: node -> utilization series.
         self.node_utilization: dict[str, TimeSeries] = {}
         self.assignment_log: list[AssignmentChange] = []
         self.control_log: list[ControlCommand] = []
+        self.dead_letter_log: list[DeadLetterRecord] = []
         self.logs: list[LogRecord] = []
+        #: Failure-detector state per node (only nodes hosting processes).
+        self.node_health: dict[str, NodeHealth] = {}
+        #: Fired with the node id on each ALIVE/SUSPECT -> DEAD transition.
+        self.on_node_dead: list[Callable[[str], None]] = []
+        self._node_last_seen: dict[str, float] = {}
         self._watched: dict[str, list[OperatorProcess]] = {}
         self._cancel = None
+        self._liveness_cancel = None
 
     # -- registration -------------------------------------------------------
 
     def watch(self, deployment_name: str, processes: list[OperatorProcess]) -> None:
         self._watched[deployment_name] = list(processes)
+        now = self.netsim.clock.now
+        for process in processes:
+            process.enable_heartbeats(self.heartbeat, self.heartbeat_interval)
+            # Baseline: a node is given a full grace period from watch time
+            # before its silence can be held against it.
+            self._node_last_seen.setdefault(process.node_id, now)
+            self.node_health.setdefault(process.node_id, NodeHealth.ALIVE)
         self.log(deployment_name, "watch", f"{len(processes)} processes")
 
     def unwatch(self, deployment_name: str) -> None:
@@ -77,11 +136,18 @@ class Monitor:
             self._cancel = self.netsim.clock.schedule_periodic(
                 self.sample_interval, self.sample
             )
+        if self._liveness_cancel is None:
+            self._liveness_cancel = self.netsim.clock.schedule_periodic(
+                self.heartbeat_interval, self.check_liveness
+            )
 
     def stop(self) -> None:
         if self._cancel is not None:
             self._cancel()
             self._cancel = None
+        if self._liveness_cancel is not None:
+            self._liveness_cancel()
+            self._liveness_cancel = None
 
     # -- event intake ---------------------------------------------------------
 
@@ -102,6 +168,32 @@ class Monitor:
         )
         self.assignment_log.append(change)
         self.log(process_id, "reassigned", f"{from_node} -> {to_node} ({reason})")
+
+    def heartbeat(self, process_id: str, node_id: str, time: float) -> None:
+        """Liveness beat from a watched process (wired by :meth:`watch`)."""
+        self._node_last_seen[node_id] = time
+        previous = self.node_health.get(node_id)
+        if previous in (NodeHealth.SUSPECT, NodeHealth.DEAD):
+            self.log(node_id, "node-alive", f"heartbeat from {process_id}")
+        self.node_health[node_id] = NodeHealth.ALIVE
+
+    def record_dead_letter(
+        self, subscription_id: int, node_id: str, source: str, reason: str
+    ) -> None:
+        """A tuple exhausted its retry budget; keep the audit trail."""
+        record = DeadLetterRecord(
+            time=self.netsim.clock.now,
+            subscription_id=subscription_id,
+            node_id=node_id,
+            source=source,
+            reason=reason,
+        )
+        self.dead_letter_log.append(record)
+        self.log(
+            f"subscription-{subscription_id}",
+            "dead-letter",
+            f"{source} undeliverable to {node_id}: {reason}",
+        )
 
     def record_control(self, deployment_name: str, command: ControlCommand) -> None:
         self.control_log.append(command)
@@ -130,6 +222,49 @@ class Monitor:
                 node.node_id, TimeSeries(name=node.node_id)
             )
             series.record(now, node.utilization)
+
+    # -- failure detection -----------------------------------------------------------
+
+    def check_liveness(self) -> list[str]:
+        """One failure-detector round over nodes hosting watched processes.
+
+        Returns the nodes newly declared dead this round (after firing the
+        ``on_node_dead`` callbacks for each).
+        """
+        now = self.netsim.clock.now
+        hosting: set[str] = {
+            process.node_id
+            for processes in self._watched.values()
+            for process in processes
+        }
+        newly_dead: list[str] = []
+        for node_id in sorted(hosting):
+            silent_for = now - self._node_last_seen.get(node_id, now)
+            missed = silent_for / self.heartbeat_interval
+            previous = self.node_health.get(node_id, NodeHealth.ALIVE)
+            if missed >= self.dead_after:
+                if previous is not NodeHealth.DEAD:
+                    self.node_health[node_id] = NodeHealth.DEAD
+                    self.log(
+                        node_id,
+                        "node-dead",
+                        f"no heartbeat for {silent_for:.0f}s "
+                        f"(>= {self.dead_after:g} intervals)",
+                    )
+                    newly_dead.append(node_id)
+                    for callback in list(self.on_node_dead):
+                        callback(node_id)
+            elif missed >= self.suspect_after:
+                if previous is NodeHealth.ALIVE:
+                    self.node_health[node_id] = NodeHealth.SUSPECT
+                    self.log(
+                        node_id,
+                        "node-suspect",
+                        f"no heartbeat for {silent_for:.0f}s",
+                    )
+            else:
+                self.node_health[node_id] = NodeHealth.ALIVE
+        return newly_dead
 
     # -- the "web interface" view ---------------------------------------------------
 
@@ -163,6 +298,11 @@ class Monitor:
             "assignments": self.current_assignments(),
             "assignment_changes": len(self.assignment_log),
             "controls": len(self.control_log),
+            "node_health": {
+                node_id: health.value
+                for node_id, health in sorted(self.node_health.items())
+            },
+            "dead_letters": len(self.dead_letter_log),
             "network": {
                 "messages_sent": self.netsim.stats.messages_sent,
                 "messages_delivered": self.netsim.stats.messages_delivered,
@@ -193,8 +333,18 @@ class Monitor:
         lines.append(
             f"-- network: {report['network']['messages_delivered']} delivered, "
             f"{report['network']['messages_dropped']} dropped, "
+            f"{report['dead_letters']} dead-lettered, "
             f"{report['network']['link_bytes']:.0f} bytes on links --"
         )
+        unhealthy = {
+            node: health
+            for node, health in report["node_health"].items()
+            if health != NodeHealth.ALIVE.value
+        }
+        if unhealthy:
+            lines.append("-- node health --")
+            for node, health in unhealthy.items():
+                lines.append(f"  {node:20s} {health.upper()}")
         if self.assignment_log:
             lines.append("-- reassignments --")
             for change in self.assignment_log[-5:]:

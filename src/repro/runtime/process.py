@@ -10,6 +10,18 @@ simulated network), charges the hosting node for the work, and forwards
 emissions along its routes.  Moving a process to another node is a single
 re-registration — the forwarding layer picks up the new location on the
 next message.
+
+Fault tolerance hooks:
+
+- **heartbeats** — once armed (the monitor does this in ``watch``), the
+  process emits a liveness beat on the sim clock every
+  ``heartbeat_interval`` seconds; a dead node emits nothing, which is how
+  the monitor's failure detector notices it.
+- **checkpoints** — once armed (the executor does this for blocking
+  operators), the operator's state is snapshotted every
+  ``checkpoint_interval`` seconds; after a node death the executor
+  re-places the process and restores the last snapshot, bounding loss to
+  the tuples absorbed since it was taken.
 """
 
 from __future__ import annotations
@@ -57,6 +69,14 @@ class OperatorProcess:
         self._timer_cancel: "Callable[[], None] | None" = None
         self._started = False
         self._stopped = False
+        self._heartbeat_sink: "Callable[[str, str, float], None] | None" = None
+        self._heartbeat_interval: "float | None" = None
+        self._heartbeat_cancel: "Callable[[], None] | None" = None
+        self._checkpoint_interval: "float | None" = None
+        self._checkpoint_cancel: "Callable[[], None] | None" = None
+        #: (virtual time, operator state) of the last snapshot, if any.
+        self.last_checkpoint: "tuple[float, dict] | None" = None
+        self.restores = 0
         netsim.topology.node(node_id).register_process(process_id)
 
     # -- wiring ------------------------------------------------------------
@@ -76,12 +96,22 @@ class OperatorProcess:
             self._timer_cancel = self.netsim.clock.schedule_periodic(
                 self.operator.interval, self._fire_timer
             )
+        if self._heartbeat_interval is not None and self._heartbeat_cancel is None:
+            self._arm_heartbeats()
+        if self._checkpoint_interval is not None and self._checkpoint_cancel is None:
+            self._arm_checkpoints()
 
     def stop(self) -> None:
         """Stop timers and release the node registration."""
         if self._timer_cancel is not None:
             self._timer_cancel()
             self._timer_cancel = None
+        if self._heartbeat_cancel is not None:
+            self._heartbeat_cancel()
+            self._heartbeat_cancel = None
+        if self._checkpoint_cancel is not None:
+            self._checkpoint_cancel()
+            self._checkpoint_cancel = None
         node = self.netsim.topology.node(self.node_id)
         if self.process_id in node.processes:
             node.unregister_process(self.process_id)
@@ -99,6 +129,72 @@ class OperatorProcess:
             old.unregister_process(self.process_id)
         new.register_process(self.process_id, demand)
         self.node_id = node_id
+
+    # -- fault tolerance ---------------------------------------------------------
+
+    def enable_heartbeats(
+        self, sink: Callable[[str, str, float], None], interval: float
+    ) -> None:
+        """Emit liveness to ``sink(process_id, node_id, now)`` periodically.
+
+        Armed immediately when the process is already started, otherwise on
+        :meth:`start`.  A process on a dead node stays silent — that
+        silence *is* the failure signal.
+        """
+        self._heartbeat_sink = sink
+        self._heartbeat_interval = float(interval)
+        if self._started and self._heartbeat_cancel is None:
+            self._arm_heartbeats()
+
+    def _arm_heartbeats(self) -> None:
+        assert self._heartbeat_interval is not None
+        self._heartbeat_cancel = self.netsim.clock.schedule_periodic(
+            self._heartbeat_interval, self._emit_heartbeat, start_delay=0.0
+        )
+
+    def _emit_heartbeat(self) -> None:
+        if self._stopped or self._heartbeat_sink is None:
+            return
+        if not self.netsim.topology.node(self.node_id).up:
+            return  # a dead node cannot prove liveness
+        self._heartbeat_sink(self.process_id, self.node_id, self.netsim.clock.now)
+
+    def enable_checkpoints(self, interval: float) -> None:
+        """Snapshot the operator's state every ``interval`` seconds."""
+        self._checkpoint_interval = float(interval)
+        if self._started and self._checkpoint_cancel is None:
+            self._arm_checkpoints()
+
+    def _arm_checkpoints(self) -> None:
+        assert self._checkpoint_interval is not None
+        # An immediate first snapshot (start_delay=0) guarantees recovery
+        # always has *something* to restore, even right after deployment.
+        self._checkpoint_cancel = self.netsim.clock.schedule_periodic(
+            self._checkpoint_interval, self.checkpoint_now, start_delay=0.0
+        )
+
+    def checkpoint_now(self) -> "tuple[float, dict] | None":
+        """Take a snapshot immediately (no-op while the node is down)."""
+        if self._stopped:
+            return None
+        if not self.netsim.topology.node(self.node_id).up:
+            return None  # a dead node cannot persist state
+        self.last_checkpoint = (self.netsim.clock.now, self.operator.checkpoint())
+        return self.last_checkpoint
+
+    def restore_last_checkpoint(self) -> bool:
+        """Reinstate the last snapshot into the operator, if one exists.
+
+        Returns whether a restore happened.  Called by the executor after
+        re-placing this process off a dead node; tuples absorbed after the
+        snapshot are lost (the documented at-most-once recovery bound).
+        """
+        if self.last_checkpoint is None:
+            return False
+        _, state = self.last_checkpoint
+        self.operator.restore(state)
+        self.restores += 1
+        return True
 
     # -- data path ------------------------------------------------------------
 

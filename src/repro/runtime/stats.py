@@ -13,8 +13,11 @@ class TimeSeries:
     points: list[tuple[float, float]] = field(default_factory=list)
 
     def record(self, time: float, value: float) -> None:
+        """Append a point.  Monitors sample monotonically, so a strictly
+        earlier timestamp is an error; *equal* timestamps are tolerated
+        and both points kept (two samplers can legitimately fire on the
+        same virtual instant)."""
         if self.points and time < self.points[-1][0]:
-            # Monitors sample monotonically; tolerate equal timestamps.
             raise ValueError(
                 f"series {self.name!r}: time {time} precedes last point "
                 f"{self.points[-1][0]}"

@@ -176,6 +176,16 @@ class AggregationOperator(BlockingOperator):
         super().reset()
         self.cache.clear()
 
+    def checkpoint(self) -> dict:
+        state = super().checkpoint()
+        state["cache"] = self.cache.snapshot()
+        state["evicted"] = self.cache.evicted
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.cache.restore(state["cache"], evicted=state.get("evicted", 0))
+
     def describe(self) -> str:
         attrs = ",".join(self.attributes)
         suffix = f" by {self.group_by}" if self.group_by else ""

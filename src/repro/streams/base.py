@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ExpressionError, StreamLoaderError
+from repro.errors import CheckpointError, ExpressionError, StreamLoaderError
 from repro.streams.tuple import SensorTuple
 
 
@@ -110,6 +110,34 @@ class Operator:
     def reset(self) -> None:
         """Clear caches and counters (re-deployment support)."""
         self.stats = OperatorStats()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot of the operator's recoverable state.
+
+        Non-blocking operators hold no state across tuples, so the base
+        snapshot carries only the counters; blocking operators extend it
+        with their caches.  The snapshot must be self-contained: restoring
+        it on a fresh operator instance yields the same future behaviour.
+        """
+        return {"stats": self.stats.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`checkpoint` snapshot, replacing live state.
+
+        Tuples absorbed after the snapshot was taken are discarded — this
+        is exactly the at-most-once recovery bound the runtime documents.
+
+        Raises:
+            CheckpointError: if ``state`` is not a checkpoint of a
+                compatible operator.
+        """
+        if not isinstance(state, dict) or "stats" not in state:
+            raise CheckpointError(
+                f"{self.name}: malformed checkpoint {state!r}"
+            )
+        self.stats = OperatorStats(**state["stats"])
 
     def describe(self) -> str:
         """One-line summary, shown in the designer and in DSN comments."""

@@ -148,5 +148,18 @@ class JoinOperator(BlockingOperator):
         self.left_cache.clear()
         self.right_cache.clear()
 
+    def checkpoint(self) -> dict:
+        state = super().checkpoint()
+        state["left"] = self.left_cache.snapshot()
+        state["right"] = self.right_cache.snapshot()
+        state["evicted"] = (self.left_cache.evicted, self.right_cache.evicted)
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        evicted = state.get("evicted", (0, 0))
+        self.left_cache.restore(state["left"], evicted=evicted[0])
+        self.right_cache.restore(state["right"], evicted=evicted[1])
+
     def describe(self) -> str:
         return f"s1 ⋈{self.interval}_{{{self.predicate.source}}} s2"

@@ -133,6 +133,17 @@ class _TriggerBase(BlockingOperator):
         self.cache.clear()
         self._last_command = None
 
+    def checkpoint(self) -> dict:
+        state = super().checkpoint()
+        state["cache"] = self.cache.snapshot()
+        state["last_command"] = self._last_command
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.cache.restore(state["cache"])
+        self._last_command = state.get("last_command")
+
 
 class TriggerOnOperator(_TriggerBase):
     """⊕ON,t: activate target sensor streams when the condition holds.

@@ -59,6 +59,12 @@ class TupleCache:
         """Copy of the cache contents (sliding windows, no eviction)."""
         return list(self._buffer)
 
+    def restore(self, tuples: "list[SensorTuple]", evicted: int = 0) -> None:
+        """Replace the contents with a previously snapshotted tuple list."""
+        self._buffer.clear()
+        self._buffer.extend(tuples[-self._max:])
+        self.evicted = evicted
+
     def clear(self) -> None:
         self._buffer.clear()
 

@@ -13,6 +13,21 @@ from repro.stt.event import SttStamp
 from repro.stt.spatial import Point
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether golden-file tests should rewrite their snapshots."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def weather_schema() -> StreamSchema:
     """The temperature/humidity schema used throughout the unit tests."""

@@ -5,9 +5,10 @@ i.e. the pretty-printer and parser are inverse on the AST.  Plus evaluator
 consistency properties on randomly generated arithmetic/boolean trees.
 """
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ExpressionError
 from repro.expr.ast import AttributeRef, BinaryOp, Call, Literal, UnaryOp
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.expr.parser import parse
@@ -74,6 +75,34 @@ class TestRoundTrip:
     def test_unparse_is_stable(self, tree):
         text = tree.unparse()
         assert parse(text).unparse() == text
+
+    @given(trees(), st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=300)
+    def test_eval_survives_round_trip(self, tree, binding):
+        """eval(parse(render(ast))) == eval(ast) for any evaluable tree.
+
+        Syntactic identity (above) is necessary but not sufficient: this
+        pins that rendering never changes *meaning* — precedence,
+        associativity, literal formatting — for trees that evaluate at all.
+        """
+        values: dict = {}
+        qualified: dict[str, dict] = {}
+        for qualifier, name in tree.attributes():
+            if qualifier:
+                qualified.setdefault(qualifier, {})[name] = binding
+            else:
+                values[name] = binding
+
+        def evaluate(root):
+            return CompiledExpression(
+                source=root.unparse(), root=root
+            ).evaluate(values, **qualified)
+
+        try:
+            expected = evaluate(tree)
+        except ExpressionError:
+            assume(False)  # inevaluable tree (bad types, unknown function)
+        assert evaluate(parse(tree.unparse())) == expected
 
 
 class TestEvaluatorProperties:

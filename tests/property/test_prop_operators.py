@@ -92,6 +92,50 @@ class TestAggregationProperties:
         else:
             assert out[0]["count_temperature"] == len(values)
 
+    @given(batches.filter(lambda v: len(v) > 0),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_window_permutation_invariant(self, values, rng):
+        """A window flush is a function of the window's *set* of tuples:
+        arrival order never changes the aggregate."""
+
+        def flush(stream, function):
+            op = AggregationOperator(interval=1000.0,
+                                     attributes=["temperature"],
+                                     function=function)
+            for tup in stream:
+                op.on_tuple(tup)
+            return op.on_timer(1000.0)[0][f"{function.lower()}_temperature"]
+
+        ordered = tuples_from(values)
+        shuffled = list(ordered)
+        rng.shuffle(shuffled)
+        for function in ("COUNT", "MIN", "MAX"):
+            assert flush(ordered, function) == flush(shuffled, function)
+        for function in ("SUM", "AVG"):  # float addition: order-tolerant
+            assert np.isclose(flush(ordered, function),
+                              flush(shuffled, function))
+
+    @given(batches.filter(lambda v: len(v) > 0),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_grouped_window_permutation_invariant(self, values, rng):
+        def flush(stream):
+            op = AggregationOperator(interval=1000.0,
+                                     attributes=["temperature"],
+                                     function="COUNT", group_by="station")
+            for tup in stream:
+                op.on_tuple(tup)
+            return sorted(
+                (t["station"], t["count_temperature"])
+                for t in op.on_timer(1000.0)
+            )
+
+        ordered = tuples_from(values)
+        shuffled = list(ordered)
+        rng.shuffle(shuffled)
+        assert flush(ordered) == flush(shuffled)
+
     @given(batches.filter(lambda v: len(v) >= 2))
     def test_min_le_avg_le_max(self, values):
         results = {}

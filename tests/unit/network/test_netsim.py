@@ -81,6 +81,53 @@ class TestDrops:
         assert inbox == ["x"]
 
 
+class TestFaultInjection:
+    def test_kill_and_revive_node(self, sim):
+        sim.kill_node("node-1")
+        assert not sim.topology.node("node-1").up
+        sim.revive_node("node-1")
+        assert sim.topology.node("node-1").up
+
+    def test_kill_counts_one_failure_per_transition(self, sim):
+        sim.kill_node("node-1")
+        sim.kill_node("node-1")  # already down: not a new failure
+        assert sim.topology.node("node-1").failures == 1
+        sim.revive_node("node-1")
+        sim.kill_node("node-1")
+        assert sim.topology.node("node-1").failures == 2
+
+    def test_per_message_on_drop_for_immediate_loss(self, sim):
+        sim.kill_node("node-1")  # severs the line topology
+        losses = []
+        sim.send("node-0", "node-2", "x", 100.0, lambda _p: None,
+                 on_drop=lambda message, reason: losses.append(reason))
+        assert len(losses) == 1 and "no live route" in losses[0]
+
+    def test_per_message_on_drop_for_in_flight_loss(self, sim):
+        losses = []
+        sim.send("node-0", "node-2", "x", 100.0, lambda _p: None,
+                 on_drop=lambda message, reason: losses.append(reason))
+        sim.kill_node("node-2")
+        sim.clock.run()
+        assert len(losses) == 1
+
+    def test_per_message_callback_runs_before_global_hook(self, sim):
+        order = []
+        sim.on_drop = lambda message, reason: order.append("global")
+        sim.kill_node("node-1")
+        sim.send("node-0", "node-2", "x", 100.0, lambda _p: None,
+                 on_drop=lambda message, reason: order.append("local"))
+        assert order == ["local", "global"]
+
+    def test_delivered_message_never_reports_loss(self, sim):
+        losses = []
+        inbox = []
+        sim.send("node-0", "node-2", "x", 100.0, inbox.append,
+                 on_drop=lambda message, reason: losses.append(reason))
+        sim.clock.run()
+        assert inbox == ["x"] and losses == []
+
+
 class TestStats:
     def test_mean_delay(self, sim):
         sim.send("node-0", "node-1", "x", 0.0, lambda _p: None)

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import PubSubError, UnknownSensorError
-from repro.pubsub.broker import BrokerNetwork
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork, RetryPolicy
 from repro.pubsub.stamping import backfill_stamp
 from repro.pubsub.subscription import SubscriptionFilter
 from tests.unit.pubsub.test_registry import make_metadata
@@ -140,3 +142,105 @@ class TestNetworkedDelivery:
         net.netsim.clock.run()
         assert len(seen) == 1
         assert net.netsim.total_link_bytes() > 0
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.5, multiplier=2.0,
+                             max_delay=3.0)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+        assert policy.backoff(4) == 3.0  # capped
+        assert policy.backoff(5) == 3.0
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(PubSubError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(PubSubError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(PubSubError):
+            RetryPolicy(multiplier=0.5)
+
+
+def retrying_net(max_attempts=3):
+    netsim = NetworkSimulator(topology=Topology.star(leaf_count=3))
+    policy = RetryPolicy(max_attempts=max_attempts, base_delay=1.0,
+                         multiplier=2.0, max_delay=60.0)
+    return BrokerNetwork(netsim=netsim, retry_policy=policy)
+
+
+class TestRetryAndDeadLetter:
+    def test_transient_outage_recovered_by_retry(self):
+        net = retrying_net()
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        net.subscribe("edge-1", SubscriptionFilter(), seen.append)
+        net.netsim.kill_node("edge-1")
+        publish_reading(net, metadata)
+        # Back up before the retry budget exhausts (delays 1 + 2 + 4).
+        net.netsim.clock.schedule(2.0, lambda: net.netsim.revive_node("edge-1"))
+        net.netsim.clock.run()
+        assert len(seen) == 1
+        assert net.data_messages_retried >= 1
+        assert net.data_messages_dead_lettered == 0
+
+    def test_exhausted_retries_dead_letter(self):
+        net = retrying_net(max_attempts=2)
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        subscription = net.subscribe("edge-1", SubscriptionFilter(), seen.append)
+        letters = []
+        net.on_dead_letter = lambda sub, t, reason: letters.append((sub, reason))
+        net.netsim.kill_node("edge-1")
+        publish_reading(net, metadata)
+        net.netsim.clock.run()
+        assert seen == []
+        assert net.data_messages_retried == 2
+        assert net.data_messages_dead_lettered == 1
+        assert subscription.retries == 2
+        assert len(subscription.dead_letters) == 1
+        assert letters and letters[0][0] is subscription
+
+    def test_zero_attempt_policy_dead_letters_immediately(self):
+        net = retrying_net(max_attempts=0)
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        subscription = net.subscribe("edge-1", SubscriptionFilter(),
+                                     lambda t: None)
+        net.netsim.kill_node("edge-1")
+        publish_reading(net, metadata)
+        net.netsim.clock.run()
+        assert net.data_messages_retried == 0
+        assert len(subscription.dead_letters) == 1
+
+    def test_retry_follows_moved_subscription(self):
+        # A subscription re-pointed between attempts (process re-placed
+        # after a node death) receives the retried tuple at its new home.
+        net = retrying_net()
+        metadata = make_metadata(node_id="edge-0")
+        net.publish(metadata)
+        seen = []
+        subscription = net.subscribe("edge-1", SubscriptionFilter(), seen.append)
+        net.netsim.kill_node("edge-1")
+        publish_reading(net, metadata)
+
+        def relocate():
+            subscription.node_id = "edge-2"
+
+        net.netsim.clock.schedule(0.5, relocate)
+        net.netsim.clock.run()
+        assert len(seen) == 1
+        assert net.data_messages_dead_lettered == 0
+
+    def test_local_network_never_retries(self, local_broker_net):
+        net = local_broker_net
+        metadata = make_metadata()
+        net.publish(metadata)
+        seen = []
+        net.subscribe("n1", SubscriptionFilter(), seen.append)
+        publish_reading(net, metadata)
+        assert len(seen) == 1
+        assert net.data_messages_retried == 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
-from repro.runtime.monitor import Monitor
+from repro.runtime.monitor import Monitor, NodeHealth
 from repro.runtime.process import OperatorProcess
 from repro.streams.base import ControlCommand
 from repro.streams.filter import FilterOperator
@@ -100,3 +100,98 @@ class TestReport:
         monitor.watch("flow", [process])
         monitor.unwatch("flow")
         assert monitor.current_assignments() == {}
+
+
+@pytest.fixture
+def detector(sim) -> Monitor:
+    """A monitor with a fast failure detector for heartbeat tests."""
+    return Monitor(sim, sample_interval=600.0, heartbeat_interval=10.0,
+                   suspect_after=2.0, dead_after=4.0)
+
+
+def watch_started(sim, detector, node="node-0"):
+    process = make_process(sim, node=node)
+    process.start()
+    detector.watch("flow", [process])
+    detector.start()
+    return process
+
+
+class TestFailureDetection:
+    def test_thresholds_validated(self, sim):
+        with pytest.raises(ValueError):
+            Monitor(sim, suspect_after=4.0, dead_after=2.0)
+        with pytest.raises(ValueError):
+            Monitor(sim, suspect_after=0.0)
+
+    def test_heartbeats_keep_node_alive(self, sim, detector):
+        watch_started(sim, detector)
+        sim.clock.run_until(200.0)
+        assert detector.node_health["node-0"] is NodeHealth.ALIVE
+
+    def test_silent_node_goes_suspect_then_dead(self, sim, detector):
+        watch_started(sim, detector)
+        deaths = []
+        detector.on_node_dead.append(deaths.append)
+        sim.clock.run_until(35.0)
+        sim.kill_node("node-0")  # last heartbeat was at t=30
+        sim.clock.run_until(55.0)  # 2+ intervals of silence
+        assert detector.node_health["node-0"] is NodeHealth.SUSPECT
+        assert deaths == []
+        sim.clock.run_until(200.0)  # 4+ intervals of silence
+        assert detector.node_health["node-0"] is NodeHealth.DEAD
+        assert any(r.event == "node-suspect" for r in detector.logs)
+        assert any(r.event == "node-dead" for r in detector.logs)
+
+    def test_death_callback_fires_exactly_once(self, sim, detector):
+        watch_started(sim, detector)
+        deaths = []
+        detector.on_node_dead.append(deaths.append)
+        sim.clock.run_until(35.0)
+        sim.kill_node("node-0")
+        sim.clock.run_until(500.0)
+        assert deaths == ["node-0"]
+
+    def test_revived_node_recovers_to_alive(self, sim, detector):
+        watch_started(sim, detector)
+        sim.clock.run_until(35.0)
+        sim.kill_node("node-0")
+        sim.clock.run_until(200.0)
+        assert detector.node_health["node-0"] is NodeHealth.DEAD
+        sim.revive_node("node-0")
+        sim.clock.run_until(250.0)  # next heartbeat clears the verdict
+        assert detector.node_health["node-0"] is NodeHealth.ALIVE
+        assert any(r.event == "node-alive" for r in detector.logs)
+
+    def test_unwatched_nodes_not_judged(self, sim, detector):
+        watch_started(sim, detector, node="node-0")
+        sim.kill_node("node-1")  # hosts nothing we watch
+        sim.clock.run_until(200.0)
+        assert "node-1" not in detector.node_health
+
+    def test_stop_halts_detection(self, sim, detector):
+        watch_started(sim, detector)
+        sim.clock.run_until(35.0)
+        detector.stop()
+        sim.kill_node("node-0")
+        sim.clock.run_until(500.0)
+        assert detector.node_health["node-0"] is NodeHealth.ALIVE
+
+    def test_report_and_dashboard_surface_health(self, sim, detector):
+        watch_started(sim, detector)
+        sim.clock.run_until(35.0)
+        sim.kill_node("node-0")
+        sim.clock.run_until(200.0)
+        report = detector.report()
+        assert report["node_health"]["node-0"] == "dead"
+        assert "DEAD" in detector.render_dashboard()
+
+
+class TestDeadLetterIntake:
+    def test_record_keeps_audit_trail(self, sim, monitor):
+        monitor.record_dead_letter(7, "node-1", "rain-1", "no route")
+        assert len(monitor.dead_letter_log) == 1
+        record = monitor.dead_letter_log[0]
+        assert record.subscription_id == 7 and record.node_id == "node-1"
+        assert any(r.event == "dead-letter" for r in monitor.logs)
+        assert monitor.report()["dead_letters"] == 1

@@ -29,10 +29,26 @@ class TestTimeSeries:
             series.record(5.0, 2.0)
 
     def test_equal_time_allowed(self):
+        # Two samplers can legitimately fire on the same virtual instant
+        # (e.g. the monitor's sampler and the liveness checker); both
+        # points are kept, in arrival order, and `last` is the newest.
         series = TimeSeries("x")
         series.record(10.0, 1.0)
         series.record(10.0, 2.0)
         assert len(series) == 2
+        assert series.points == [(10.0, 1.0), (10.0, 2.0)]
+        assert series.last == 2.0
+        series.record(10.0, 3.0)  # still the same instant: still tolerated
+        assert series.last == 3.0
+
+    def test_record_after_equal_timestamps_continues(self):
+        series = TimeSeries("x")
+        series.record(10.0, 1.0)
+        series.record(10.0, 2.0)
+        series.record(11.0, 4.0)
+        assert series.since(10.0) == [(10.0, 1.0), (10.0, 2.0), (11.0, 4.0)]
+        with pytest.raises(ValueError):
+            series.record(10.5, 5.0)
 
     def test_since(self):
         series = TimeSeries("x")
