@@ -1,8 +1,21 @@
-"""Evaluation of condition-language expressions against stream tuples."""
+"""Evaluation of condition-language expressions against stream tuples.
+
+Two evaluation paths share one semantics:
+
+- :meth:`CompiledExpression.evaluate` lowers the AST once to a Python
+  closure (:mod:`repro.expr.compile`) and runs that per tuple — the hot
+  path every operator uses;
+- :meth:`CompiledExpression.interpret` walks the AST — the slow reference
+  oracle the property tests compare the compiled path against.
+
+Both raise the same :class:`ExpressionError` subclasses with the same
+messages on the same inputs.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import (
     EvaluationError,
@@ -160,9 +173,33 @@ class CompiledExpression:
     source: str
     root: Node
     functions: FunctionRegistry = field(default=DEFAULT_FUNCTIONS, compare=False)
+    #: Lazily-built fast evaluator (see :mod:`repro.expr.compile`).
+    _fast: "Callable[[dict, dict], object] | None" = field(
+        default=None, compare=False, repr=False
+    )
+
+    def prepare(self) -> "CompiledExpression":
+        """Force the fast evaluator to build now (operators call this at
+        construction so the first tuple does not pay the lowering cost)."""
+        if self._fast is None:
+            from repro.expr.compile import compile_node
+
+            object.__setattr__(self, "_fast", compile_node(self.root, self.functions))
+        return self
 
     def evaluate(self, values: "dict | None" = None, **qualified: dict) -> object:
-        """Evaluate against a payload dict (and/or qualified payloads)."""
+        """Evaluate against a payload dict (and/or qualified payloads).
+
+        Runs the compiled closure; semantically identical to
+        :meth:`interpret`, which the property suite pins.
+        """
+        fast = self._fast
+        if fast is None:
+            fast = self.prepare()._fast
+        return fast(values if values else {}, qualified)
+
+    def interpret(self, values: "dict | None" = None, **qualified: dict) -> object:
+        """Reference tree-walking evaluation (the compiled path's oracle)."""
         ctx = EvalContext(values=values or {}, qualified=qualified)
         return _evaluate(self.root, ctx, self.functions)
 

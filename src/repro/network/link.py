@@ -7,9 +7,13 @@ in-network placement against centralized collection (total bytes moved).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import NetworkError
+
+#: Link attributes that change which routes are valid/cheapest.
+_ROUTING_ATTRS = frozenset({"up", "latency", "bandwidth"})
 
 
 @dataclass
@@ -30,6 +34,23 @@ class Link:
     up: bool = True
     bytes_transferred: float = 0.0
     messages_transferred: int = 0
+    #: Topology hook, set by ``Topology.add_link``: called when liveness
+    #: or weights change so cached routes are invalidated.
+    _on_routing_change: "Callable[[], None] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Traffic counters are written per message; keep the non-routing
+        # path to a frozenset probe plus a plain attribute store.
+        if name in _ROUTING_ATTRS:
+            state = self.__dict__
+            hook = state.get("_on_routing_change")
+            if hook is not None and state.get(name) != value:
+                object.__setattr__(self, name, value)
+                hook()
+                return
+        object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
         if self.a == self.b:
@@ -52,8 +73,12 @@ class Link:
 
     def account(self, size_bytes: float) -> None:
         """Record a transfer over this link."""
-        self.bytes_transferred += max(0.0, size_bytes)
-        self.messages_transferred += 1
+        # Hot path (one call per link per message): mutate the instance
+        # dict directly to skip the routing-change __setattr__ probe —
+        # counters never affect routing.
+        state = self.__dict__
+        state["bytes_transferred"] += size_bytes if size_bytes > 0.0 else 0.0
+        state["messages_transferred"] += 1
 
     def connects(self, node_id: str) -> bool:
         return node_id in (self.a, self.b)

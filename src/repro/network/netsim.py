@@ -18,7 +18,7 @@ from repro.network.simclock import SimClock
 from repro.network.topology import Topology
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An in-flight network message."""
 
@@ -92,15 +92,10 @@ class NetworkSimulator:
         :attr:`on_drop` hook still fires for every loss.
         """
         policy = qos or self.default_qos
-        message = Message(
-            source=source,
-            target=target,
-            payload=payload,
-            size_bytes=size_bytes,
-            sent_at=self.clock.now,
-        )
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
+        message = Message(source, target, payload, size_bytes, self.clock.now)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
 
         if source == target:
             self.clock.schedule(
@@ -109,21 +104,25 @@ class NetworkSimulator:
             return message
 
         try:
-            path = self.topology.route(source, target)
+            # Memoized route + pre-resolved links: the per-message cost is
+            # a dict hit, not a routing-graph rebuild plus per-hop lookups.
+            info = self.topology.route_info(source, target)
         except UnreachableError as exc:
             self._drop(message, str(exc), on_drop)
             return None
 
         segments = policy.segments(size_bytes)
         per_segment = size_bytes / segments
+        charge = size_bytes if size_bytes > 0.0 else 0.0
         delay = 0.0
-        for a, b in zip(path, path[1:]):
-            link = self.topology.link(a, b)
+        for latency, bandwidth, counters in info.hops:
             # Segments pipeline over the path: total time is dominated by
             # the per-hop latency plus the serialized transmission of all
-            # segments on each hop.
-            delay += link.latency + segments * (per_segment / link.bandwidth)
-            link.account(size_bytes)
+            # segments on each hop.  Counter writes go straight to the
+            # link's instance dict (same math and totals as Link.account).
+            delay += latency + segments * (per_segment / bandwidth)
+            counters["bytes_transferred"] += charge
+            counters["messages_transferred"] += 1
         if delay > policy.max_latency:
             self._drop(
                 message,
@@ -144,11 +143,13 @@ class NetworkSimulator:
         on_drop: "Callable[[Message, str], None] | None" = None,
     ) -> None:
         # A node that died while the message was in flight loses it.
-        if message.target in self.topology and not self.topology.node(message.target).up:
+        node = self.topology._nodes.get(message.target)
+        if node is not None and not node.up:
             self._drop(message, f"target node {message.target!r} is down", on_drop)
             return
-        self.stats.messages_delivered += 1
-        self.stats.total_delay += self.clock.now - message.sent_at
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.total_delay += self.clock.now - message.sent_at
         on_delivery(message.payload)
 
     def _drop(

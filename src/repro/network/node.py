@@ -11,6 +11,7 @@ workload".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import NetworkError
 
@@ -36,6 +37,23 @@ class NetworkNode:
     work_done: float = 0.0
     #: number of times this node has failed (fault-injection statistics).
     failures: int = 0
+    #: Topology hook, set by ``Topology.add_node``: called whenever
+    #: liveness flips so cached routes are invalidated — regardless of
+    #: whether the flip came through :meth:`fail`/:meth:`recover` or a
+    #: direct ``node.up = False``.
+    _on_liveness_change: "Callable[[], None] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "up":
+            state = self.__dict__
+            hook = state.get("_on_liveness_change")
+            if hook is not None and state.get("up") != value:
+                object.__setattr__(self, name, value)
+                hook()
+                return
+        object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
         if not self.node_id:

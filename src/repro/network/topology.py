@@ -1,6 +1,17 @@
-"""Network topology: the graph of nodes and links, with routing."""
+"""Network topology: the graph of nodes and links, with routing.
+
+Routing uses latency-weighted shortest paths over *live* nodes and links.
+Routes are memoized behind a **generation counter**: any change that can
+affect routing — adding nodes or links, a node or link going down or
+coming back (including ``netsim.kill_node``/``revive_node``), a latency
+change — bumps the generation and drops every cached route.  The
+uncached computation stays available as :meth:`Topology.route_uncached`,
+the oracle the route-cache property tests compare against.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -9,18 +20,54 @@ from repro.network.link import Link
 from repro.network.node import NetworkNode
 
 
+@dataclass(frozen=True)
+class RouteInfo:
+    """A cached route with the per-hop data the simulator needs.
+
+    ``links`` are the live :class:`Link` objects along ``path``, so a
+    sender charges traffic without re-resolving each hop.  ``hops``
+    additionally pre-extracts ``(latency, bandwidth, counters)`` per
+    link for the delay/accounting loop; the snapshot stays valid because
+    any latency/bandwidth/liveness change invalidates the cache entry.
+    """
+
+    path: tuple[str, ...]
+    links: tuple[Link, ...]
+    #: (latency, bandwidth, link.__dict__) per hop — the instance dict is
+    #: shared with the Link, so counter writes land on the real object.
+    hops: "tuple[tuple[float, float, dict], ...]" = ()
+
+
 class Topology:
     """Undirected graph of :class:`NetworkNode` connected by :class:`Link`.
 
-    Routing uses latency-weighted shortest paths over *live* nodes and
-    links, recomputed on demand (topologies here are small — tens of nodes —
-    so an explicit route cache with invalidation would be premature).
+    ``cache_routes=False`` disables memoization (every call recomputes) —
+    used by benchmarks to measure the uncached baseline and by tests to
+    cross-check the cache.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_routes: bool = True) -> None:
         self._graph = nx.Graph()
         self._nodes: dict[str, NetworkNode] = {}
         self._links: dict[tuple[str, str], Link] = {}
+        self._cache_routes = cache_routes
+        self._generation = 0
+        #: (source, target) -> tuple path, or the UnreachableError message.
+        self._route_cache: dict[tuple[str, str], "tuple[str, ...] | str"] = {}
+        self._info_cache: dict[tuple[str, str], RouteInfo] = {}
+
+    # -- cache invalidation --------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of routing-relevant topology changes."""
+        return self._generation
+
+    def invalidate_routes(self) -> None:
+        """Bump the generation and drop all memoized routes."""
+        self._generation += 1
+        self._route_cache.clear()
+        self._info_cache.clear()
 
     # -- construction -------------------------------------------------------
 
@@ -32,6 +79,8 @@ class Topology:
             raise NetworkError(f"node {node.node_id!r} already in topology")
         self._nodes[node.node_id] = node
         self._graph.add_node(node.node_id)
+        node._on_liveness_change = self.invalidate_routes
+        self.invalidate_routes()
         return node
 
     def add_link(self, a: str, b: str, **kwargs) -> Link:
@@ -44,6 +93,8 @@ class Topology:
             raise NetworkError(f"link {link.key} already in topology")
         self._links[link.key] = link
         self._graph.add_edge(a, b)
+        link._on_routing_change = self.invalidate_routes
+        self.invalidate_routes()
         return link
 
     # -- lookups ---------------------------------------------------------------
@@ -98,11 +149,14 @@ class Topology:
                 graph.add_edge(link.a, link.b, weight=link.latency)
         return graph
 
-    def route(self, source: str, target: str) -> list[str]:
+    def route_uncached(self, source: str, target: str) -> list[str]:
         """Latency-shortest path of node ids from source to target.
 
         Only live nodes/links participate.  Raises
         :class:`repro.errors.UnreachableError` when no path exists.
+
+        This is the uncached reference computation — it rebuilds the
+        routing graph on every call.  :meth:`route` memoizes it.
         """
         for node_id in (source, target):
             node = self.node(node_id)
@@ -118,6 +172,60 @@ class Topology:
                 f"no live route from {source!r} to {target!r}"
             ) from None
 
+    def route(self, source: str, target: str) -> list[str]:
+        """Memoized :meth:`route_uncached` (same result, same errors).
+
+        Cache entries — both paths and "no live route" outcomes — live
+        until the next routing-relevant change bumps the generation.
+        Down-endpoint errors are rechecked per call (cheap, and the
+        liveness hooks mean cached entries never describe a topology
+        where either endpoint is down anyway).
+        """
+        if not self._cache_routes:
+            return self.route_uncached(source, target)
+        for node_id in (source, target):
+            node = self.node(node_id)
+            if not node.up:
+                raise UnreachableError(f"node {node_id!r} is down")
+        key = (source, target)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            try:
+                cached = tuple(self.route_uncached(source, target))
+            except UnreachableError as exc:
+                cached = str(exc)
+            self._route_cache[key] = cached
+        if isinstance(cached, str):
+            raise UnreachableError(cached)
+        return list(cached)
+
+    def route_info(self, source: str, target: str) -> RouteInfo:
+        """The route plus its pre-resolved :class:`Link` objects, memoized.
+
+        This is the simulator's hot path: ``NetworkSimulator.send`` needs
+        every link along the path to compute delay and charge traffic, and
+        resolving them via :meth:`link` per message dominates send cost.
+        """
+        key = (source, target)
+        info = self._info_cache.get(key)
+        if info is not None:
+            # Endpoint liveness could only have changed via the hooks,
+            # which would have cleared the cache — entries are fresh.
+            return info
+        path = self.route(source, target)
+        links = tuple(self.link(a, b) for a, b in zip(path, path[1:]))
+        info = RouteInfo(
+            path=tuple(path),
+            links=links,
+            hops=tuple(
+                (link.latency, link.bandwidth, link.__dict__)
+                for link in links
+            ),
+        )
+        if self._cache_routes:
+            self._info_cache[key] = info
+        return info
+
     def path_latency(self, path: list[str]) -> float:
         """Sum of link latencies along a node path."""
         return sum(
@@ -125,7 +233,8 @@ class Topology:
         )
 
     def route_latency(self, source: str, target: str) -> float:
-        return self.path_latency(self.route(source, target))
+        info = self.route_info(source, target)
+        return sum(link.latency for link in info.links)
 
     # -- convenience builders ----------------------------------------------------
 

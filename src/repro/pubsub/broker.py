@@ -65,24 +65,32 @@ class RetryPolicy:
 
 @dataclass
 class Broker:
-    """Per-node broker: the subscriptions homed on one network node."""
+    """Per-node broker: the subscriptions homed on one network node.
+
+    Subscriptions are stored in an insertion-ordered dict keyed by
+    ``subscription_id``, so removal is O(1) instead of a list scan;
+    :attr:`subscriptions` exposes them as a list for callers.
+    """
 
     node_id: str
-    subscriptions: list[Subscription] = field(default_factory=list)
+    _subscriptions: dict[str, Subscription] = field(default_factory=dict)
     #: Sensor ids this broker has seen advertised (overlay propagation).
     known_sensors: set[str] = field(default_factory=set)
 
+    @property
+    def subscriptions(self) -> list[Subscription]:
+        """The broker's subscriptions in insertion order."""
+        return list(self._subscriptions.values())
+
     def add_subscription(self, subscription: Subscription) -> None:
-        self.subscriptions.append(subscription)
+        self._subscriptions[subscription.subscription_id] = subscription
 
     def remove_subscription(self, subscription: Subscription) -> None:
-        try:
-            self.subscriptions.remove(subscription)
-        except ValueError:
+        if self._subscriptions.pop(subscription.subscription_id, None) is None:
             raise PubSubError(
                 f"subscription {subscription.subscription_id} not on "
                 f"broker {self.node_id!r}"
-            ) from None
+            )
 
 
 class BrokerNetwork:
@@ -119,11 +127,19 @@ class BrokerNetwork:
     # -- broker membership ---------------------------------------------------
 
     def broker(self, node_id: str) -> Broker:
-        """The broker on ``node_id`` (created on first use)."""
+        """The broker on ``node_id`` (created on first use).
+
+        A broker created after sensors have already been published missed
+        their advertisements, so ``known_sensors`` is back-filled from the
+        registry — the overlay's ground truth — on creation.
+        """
         if self.netsim is not None and node_id not in self.netsim.topology:
             raise PubSubError(f"no network node {node_id!r} to host a broker")
         if node_id not in self._brokers:
-            self._brokers[node_id] = Broker(node_id=node_id)
+            self._brokers[node_id] = Broker(
+                node_id=node_id,
+                known_sensors={m.sensor_id for m in self.registry.all()},
+            )
         return self._brokers[node_id]
 
     @property
@@ -182,12 +198,22 @@ class BrokerNetwork:
         """Create an active subscription homed on ``node_id``."""
         subscription = Subscription(filter=filter_, callback=callback, node_id=node_id)
         self.broker(node_id).add_subscription(subscription)
-        self._rebuild_all_routes()
+        # Incremental: match only the new subscription against registered
+        # sensors instead of rebuilding every route (O(sensors) instead of
+        # O(sensors x subscriptions)).
+        for metadata in self.registry.all():
+            if subscription.filter.matches(metadata):
+                self._routes.setdefault(metadata.sensor_id, []).append(subscription)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
         self.broker(subscription.node_id).remove_subscription(subscription)
-        self._rebuild_all_routes()
+        # Incremental: drop just this subscription from the routes it is on.
+        for matches in self._routes.values():
+            try:
+                matches.remove(subscription)
+            except ValueError:
+                pass
 
     def subscriptions_for(self, sensor_id: str) -> list[Subscription]:
         """The subscriptions a sensor's data is currently routed to."""
@@ -206,6 +232,12 @@ class BrokerNetwork:
         self._routes[sensor_id] = matches
 
     def _rebuild_all_routes(self) -> None:
+        """Full O(sensors x subscriptions) route rebuild.
+
+        No longer on the subscribe/unsubscribe path — kept as the
+        reference implementation the incremental maintenance is tested
+        against (same sensors, same matches).
+        """
         for sensor_id in list(self._routes) + [
             m.sensor_id for m in self.registry.all() if m.sensor_id not in self._routes
         ]:

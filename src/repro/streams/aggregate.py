@@ -19,9 +19,24 @@ Two extensions beyond the paper's one-liner (both off by default):
 - ``window``: a sliding lookback longer than the flush interval, giving
   "mean over the last hour, every five minutes" — the same
   interval/window split the Trigger operators use.
+
+Flushes are **incremental** by default: per-group running accumulators
+(non-null count, sum, min, max, bounding box) are updated as tuples enter
+the cache and as the cache evicts them, so ``_flush`` emits from O(groups)
+state instead of rescanning the window.  Min/max (and the bounding box)
+cannot be decremented, so an eviction that removes the current extremum
+marks the accumulator dirty and the next flush recomputes just that piece
+from the group's members — amortized O(1) per tuple.  ``incremental=False``
+restores the original rescan-every-flush behaviour (:meth:`_aggregate_group`
+is kept verbatim as that reference path, and the parity oracle for tests).
+Non-numeric attribute values can't be accumulated; they flag the
+group/attribute for rescan at flush, reproducing the reference semantics
+(including its errors) for that slice only.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -56,6 +71,29 @@ def _bounding_location(tuples: list[SensorTuple]):
     return Box(south=south, west=west, north=north, east=east)
 
 
+class _GroupAccumulator:
+    """Running state for one group: members plus per-attribute extrema.
+
+    ``stats[attr]`` is ``[count, sum, min, max]`` over the attribute's
+    non-null numeric values.  ``dirty`` holds attributes whose min/max may
+    be stale after an eviction; ``rescan`` holds attributes that saw a
+    non-numeric value and fall back to the reference computation.
+    """
+
+    __slots__ = ("members", "stats", "dirty", "rescan", "bbox", "bbox_dirty")
+
+    def __init__(self, attributes: "list[str]") -> None:
+        self.members: deque[SensorTuple] = deque()
+        self.stats: dict[str, list] = {
+            attr: [0, 0.0, None, None] for attr in attributes
+        }
+        self.dirty: set[str] = set()
+        self.rescan: set[str] = set()
+        #: (south, west, north, east) over members' representative points.
+        self.bbox: "tuple[float, float, float, float] | None" = None
+        self.bbox_dirty = False
+
+
 class AggregationOperator(BlockingOperator):
     """Windowed COUNT/AVG/SUM/MIN/MAX over selected attributes.
 
@@ -77,6 +115,7 @@ class AggregationOperator(BlockingOperator):
         window: "float | None" = None,
         name: str = "",
         max_cache: int = 100_000,
+        incremental: bool = True,
     ) -> None:
         super().__init__(interval, name or "aggregation")
         fn = function.upper()
@@ -100,11 +139,91 @@ class AggregationOperator(BlockingOperator):
         self.attributes = list(attributes)
         self.group_by = group_by
         self.window = float(window) if window is not None else None
-        self.cache = TupleCache(max_tuples=max_cache)
+        self.incremental = incremental
+        self._groups: dict[object, _GroupAccumulator] = {}
+        self.cache = TupleCache(
+            max_tuples=max_cache,
+            on_evict=self._on_evict if incremental else None,
+        )
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         self.cache.add(tuple_)
+        if self.incremental:
+            self._accumulate(tuple_)
         return []
+
+    # -- running accumulators -------------------------------------------------
+
+    def _group_key(self, tuple_: SensorTuple) -> object:
+        return None if self.group_by is None else tuple_.get(self.group_by)
+
+    def _accumulate(self, tuple_: SensorTuple) -> None:
+        key = self._group_key(tuple_)
+        acc = self._groups.get(key)
+        if acc is None:
+            acc = self._groups[key] = _GroupAccumulator(self.attributes)
+        acc.members.append(tuple_)
+        for attr in self.attributes:
+            value = tuple_.get(attr)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)):
+                # The reference path converts via numpy at flush time;
+                # punt this attribute to that path so behaviour (including
+                # conversion errors) is identical.
+                acc.rescan.add(attr)
+                continue
+            stats = acc.stats[attr]
+            fvalue = float(value)
+            stats[0] += 1
+            stats[1] += fvalue
+            if stats[2] is None or fvalue < stats[2]:
+                stats[2] = fvalue
+            if stats[3] is None or fvalue > stats[3]:
+                stats[3] = fvalue
+        point = representative_point(tuple_.stamp.location)
+        bbox = acc.bbox
+        if bbox is None:
+            acc.bbox = (point.lat, point.lon, point.lat, point.lon)
+        else:
+            acc.bbox = (
+                point.lat if point.lat < bbox[0] else bbox[0],
+                point.lon if point.lon < bbox[1] else bbox[1],
+                point.lat if point.lat > bbox[2] else bbox[2],
+                point.lon if point.lon > bbox[3] else bbox[3],
+            )
+
+    def _on_evict(self, tuple_: SensorTuple) -> None:
+        """Cache eviction hook: retire the tuple from its accumulator.
+
+        Evictions are FIFO overall, hence FIFO within each group, so the
+        departing tuple is always its group's oldest member.
+        """
+        key = self._group_key(tuple_)
+        acc = self._groups.get(key)
+        if acc is None or not acc.members:
+            return
+        acc.members.popleft()
+        if not acc.members:
+            del self._groups[key]
+            return
+        for attr in self.attributes:
+            value = tuple_.get(attr)
+            if value is None or not isinstance(value, (int, float)):
+                continue
+            stats = acc.stats[attr]
+            fvalue = float(value)
+            stats[0] -= 1
+            stats[1] -= fvalue
+            # Removing an extremum invalidates min/max; recompute lazily.
+            if fvalue == stats[2] or fvalue == stats[3]:
+                acc.dirty.add(attr)
+        bbox = acc.bbox
+        if bbox is not None:
+            point = representative_point(tuple_.stamp.location)
+            if (point.lat == bbox[0] or point.lon == bbox[1]
+                    or point.lat == bbox[2] or point.lon == bbox[3]):
+                acc.bbox_dirty = True
 
     def _window_tuples(self, now: float) -> list[SensorTuple]:
         if self.window is None:
@@ -113,6 +232,8 @@ class AggregationOperator(BlockingOperator):
         return self.cache.snapshot()
 
     def _flush(self, now: float) -> list[SensorTuple]:
+        if self.incremental:
+            return self._flush_incremental(now)
         window = self._window_tuples(now)
         if not window:
             return []
@@ -128,6 +249,120 @@ class AggregationOperator(BlockingOperator):
         ):
             out.append(self._aggregate_group(key, members, now, seq_offset))
         return out
+
+    def _flush_incremental(self, now: float) -> list[SensorTuple]:
+        if self.window is not None:
+            # Sliding: evictions flow through _on_evict and keep the
+            # accumulators current.
+            self.cache.prune(before=now - self.window)
+        if not self._groups:
+            return []
+        out = [
+            self._emit_group(key, acc, now, seq_offset)
+            for seq_offset, (key, acc) in enumerate(
+                sorted(self._groups.items(), key=lambda item: str(item[0]))
+            )
+        ]
+        if self.window is None:
+            # Tumbling: the window is consumed wholesale.
+            self.cache.clear()
+            self._groups = {}
+        return out
+
+    def _emit_group(
+        self, key: object, acc: _GroupAccumulator, now: float, seq_offset: int
+    ) -> SensorTuple:
+        """Emit one group's tuple from its running accumulators.
+
+        Mirrors :meth:`_aggregate_group` (payload keys, null handling,
+        stamp construction) without rescanning members except for
+        dirty/rescan slices.
+        """
+        members = acc.members
+        for attr in acc.dirty - acc.rescan:
+            values = [
+                float(v) for t in members
+                if (v := t.get(attr)) is not None
+            ]
+            stats = acc.stats[attr]
+            stats[2] = min(values) if values else None
+            stats[3] = max(values) if values else None
+        acc.dirty.clear()
+
+        payload: dict[str, object] = {}
+        if self.group_by is not None:
+            payload[self.group_by] = key
+        for attr in self.attributes:
+            if attr in acc.rescan:
+                # Reference computation for attributes the accumulators
+                # could not track (non-numeric values).
+                values = [t.get(attr) for t in members if t.get(attr) is not None]
+                if self.function == "COUNT":
+                    payload[f"count_{attr}"] = len(values)
+                    continue
+                out_key = f"{self.function.lower()}_{attr}"
+                if not values:
+                    payload[out_key] = None
+                    continue
+                array = np.asarray(values, dtype=float)
+                if self.function == "AVG":
+                    payload[out_key] = float(array.mean())
+                elif self.function == "SUM":
+                    payload[out_key] = float(array.sum())
+                elif self.function == "MIN":
+                    payload[out_key] = float(array.min())
+                else:
+                    payload[out_key] = float(array.max())
+                continue
+            count, total, low, high = acc.stats[attr]
+            if self.function == "COUNT":
+                payload[f"count_{attr}"] = count
+                continue
+            out_key = f"{self.function.lower()}_{attr}"
+            if count == 0:
+                payload[out_key] = None
+            elif self.function == "AVG":
+                payload[out_key] = total / count
+            elif self.function == "SUM":
+                payload[out_key] = total
+            elif self.function == "MIN":
+                payload[out_key] = low
+            else:  # MAX
+                payload[out_key] = high
+
+        first = members[0]
+        if acc.bbox_dirty or acc.bbox is None:
+            location = _bounding_location(list(members))
+            point = representative_point(first.stamp.location)
+            # Refresh the running box from the rescan.
+            if isinstance(location, Box):
+                acc.bbox = (location.south, location.west,
+                            location.north, location.east)
+            else:
+                acc.bbox = (point.lat, point.lon, point.lat, point.lon)
+            acc.bbox_dirty = False
+        else:
+            south, west, north, east = acc.bbox
+            if south == north and west == east:
+                location = representative_point(first.stamp.location)
+            else:
+                location = Box(south=south, west=west, north=north, east=east)
+        out_gran = common_temporal(
+            first.stamp.temporal_granularity, _covering_granularity(self.interval)
+        )
+        stamp = SttStamp(
+            time=now,
+            location=location,
+            temporal_granularity=out_gran,
+            spatial_granularity=first.stamp.spatial_granularity,
+            themes=first.stamp.themes,
+        )
+        return SensorTuple(
+            payload=payload,
+            stamp=stamp,
+            source=f"{self.name}({first.source})",
+            seq=self.stats.timer_firings * 1000 + seq_offset,
+        )
 
     def _aggregate_group(
         self, key: object, window: list[SensorTuple], now: float, seq_offset: int
@@ -175,6 +410,7 @@ class AggregationOperator(BlockingOperator):
     def reset(self) -> None:
         super().reset()
         self.cache.clear()
+        self._groups = {}
 
     def checkpoint(self) -> dict:
         state = super().checkpoint()
@@ -185,6 +421,12 @@ class AggregationOperator(BlockingOperator):
     def restore(self, state: dict) -> None:
         super().restore(state)
         self.cache.restore(state["cache"], evicted=state.get("evicted", 0))
+        # Accumulators are derived state: rebuild them from the restored
+        # window (the checkpoint format is unchanged from the rescan era).
+        self._groups = {}
+        if self.incremental:
+            for tuple_ in self.cache:
+                self._accumulate(tuple_)
 
     def describe(self) -> str:
         attrs = ",".join(self.attributes)

@@ -18,7 +18,9 @@ class FilterOperator(NonBlockingOperator):
         super().__init__(name or "filter")
         if isinstance(condition, str):
             condition = compile_expression(condition)
-        self.condition = condition
+        # Lower to the fast evaluator now: filters run per tuple on the
+        # hot path, the first reading should not pay the compile.
+        self.condition = condition.prepare()
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         if self.condition.evaluate_bool(tuple_.values()):

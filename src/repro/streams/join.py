@@ -13,11 +13,26 @@ attribute names get the qualifier prefix, everything else keeps its name.
 The output stamp takes the later of the pair's times at the coarser common
 granularities, the pair's bounding location, and the union of themes —
 the STT consistency rules for composition.
+
+Flush strategy.  When the predicate's top-level ``and``-chain contains at
+least one equi-conjunct between the two sides (``left.a == right.b``), the
+flush **hash-partitions** the right window on those attributes and probes
+it per left tuple, evaluating the full predicate only on key-matched
+candidates — O(|L| + |R| + matches) instead of the O(|L| x |R|) nested
+loop.  Candidate pairs still run the complete predicate, so results (and
+their order and seq numbers) are identical to the nested loop; the only
+observable difference is that pairs pruned by the hash never evaluate, so
+predicate *errors* are only counted on candidate pairs.  The nested loop
+remains for non-equi predicates, for ``hash_join=False``, and whenever a
+window tuple is missing a key attribute or holds a key value outside the
+plain scalar types (str/int/float/bool/None) whose hash semantics are
+guaranteed to agree with ``==``.
 """
 
 from __future__ import annotations
 
 from repro.errors import DataflowError
+from repro.expr.ast import AttributeRef, BinaryOp, Node
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.streams.base import BlockingOperator
 from repro.streams.tuple import SensorTuple
@@ -61,17 +76,47 @@ class JoinOperator(BlockingOperator):
         right_prefix: str = "right",
         name: str = "",
         max_cache: int = 100_000,
+        hash_join: bool = True,
     ) -> None:
         super().__init__(interval, name or "join")
         if left_prefix == right_prefix:
             raise DataflowError("join prefixes must differ")
         if isinstance(predicate, str):
             predicate = compile_expression(predicate)
-        self.predicate = predicate
+        self.predicate = predicate.prepare()
         self.left_prefix = left_prefix
         self.right_prefix = right_prefix
         self.left_cache = TupleCache(max_tuples=max_cache)
         self.right_cache = TupleCache(max_tuples=max_cache)
+        self.hash_join = hash_join
+        #: [(left_attr, right_attr)] equi-conjuncts found in the predicate.
+        self.equi_keys = self._extract_equi_keys(predicate.root)
+
+    def _extract_equi_keys(self, root: Node) -> "list[tuple[str, str]]":
+        """Equality conjuncts ``left.a == right.b`` in the top-level
+        and-chain, normalized to (left_attr, right_attr) pairs."""
+
+        def conjuncts(node: Node):
+            if isinstance(node, BinaryOp) and node.op == "and":
+                yield from conjuncts(node.left)
+                yield from conjuncts(node.right)
+            else:
+                yield node
+
+        pairs: list[tuple[str, str]] = []
+        for node in conjuncts(root):
+            if not (isinstance(node, BinaryOp) and node.op == "=="):
+                continue
+            left, right = node.left, node.right
+            if not (isinstance(left, AttributeRef) and isinstance(right, AttributeRef)):
+                continue
+            if (left.qualifier == self.left_prefix
+                    and right.qualifier == self.right_prefix):
+                pairs.append((left.name, right.name))
+            elif (left.qualifier == self.right_prefix
+                    and right.qualifier == self.left_prefix):
+                pairs.append((right.name, left.name))
+        return pairs
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         if port == 0:
@@ -80,11 +125,30 @@ class JoinOperator(BlockingOperator):
             self.right_cache.add(tuple_)
         return []
 
+    #: Key value types whose hash/equality semantics are guaranteed to
+    #: agree with the expression evaluator's ``==`` (numeric cross-type
+    #: equality included; NaN keys are safe because candidates re-run the
+    #: full predicate, which rejects NaN == NaN).
+    _HASHABLE_KEY_TYPES = (str, int, float, bool, type(None))
+
     def _flush(self, now: float) -> list[SensorTuple]:
         left_window = self.left_cache.drain()
         right_window = self.right_cache.drain()
         if not left_window or not right_window:
             return []
+        if self.hash_join and self.equi_keys:
+            out = self._hash_flush(left_window, right_window, now)
+            if out is not None:
+                return out
+        return self._nested_loop_flush(left_window, right_window, now)
+
+    def _nested_loop_flush(
+        self,
+        left_window: list[SensorTuple],
+        right_window: list[SensorTuple],
+        now: float,
+    ) -> list[SensorTuple]:
+        """Reference O(|L| x |R|) flush — every pair runs the predicate."""
         out: list[SensorTuple] = []
         seq = 0
         for lt in left_window:
@@ -93,6 +157,67 @@ class JoinOperator(BlockingOperator):
                 kwargs = {
                     self.left_prefix: l_values,
                     self.right_prefix: rt.values(),
+                }
+                try:
+                    matched = self.predicate.evaluate_bool(None, **kwargs)
+                except Exception:
+                    self.stats.errors += 1
+                    continue
+                if not matched:
+                    continue
+                out.append(self._merge(lt, rt, now, seq))
+                seq += 1
+        return out
+
+    def _hash_flush(
+        self,
+        left_window: list[SensorTuple],
+        right_window: list[SensorTuple],
+        now: float,
+    ) -> "list[SensorTuple] | None":
+        """Equi-key hash join; returns None to signal nested-loop fallback.
+
+        The right window is bucketed on its key attributes; each left
+        tuple probes its bucket and candidates run the *full* predicate,
+        so emitted pairs, their left-major order, and seq numbers are
+        exactly the nested loop's.
+        """
+        left_names = [pair[0] for pair in self.equi_keys]
+        right_names = [pair[1] for pair in self.equi_keys]
+        scalar = self._HASHABLE_KEY_TYPES
+
+        buckets: dict[tuple, list[tuple[SensorTuple, dict]]] = {}
+        for rt in right_window:
+            r_values = rt.values()
+            key = []
+            for name in right_names:
+                if name not in r_values:
+                    return None  # the evaluator would raise per pair
+                value = r_values[name]
+                if not isinstance(value, scalar):
+                    return None  # no hash==eq guarantee for this type
+                key.append(value)
+            buckets.setdefault(tuple(key), []).append((rt, r_values))
+
+        out: list[SensorTuple] = []
+        seq = 0
+        probed: list[tuple] = []
+        for lt in left_window:
+            l_values = lt.values()
+            key = []
+            for name in left_names:
+                if name not in l_values:
+                    return None
+                value = l_values[name]
+                if not isinstance(value, scalar):
+                    return None
+                key.append(value)
+            probed.append((lt, l_values, tuple(key)))
+        for lt, l_values, key in probed:
+            for rt, r_values in buckets.get(key, ()):
+                kwargs = {
+                    self.left_prefix: l_values,
+                    self.right_prefix: r_values,
                 }
                 try:
                     matched = self.predicate.evaluate_bool(None, **kwargs)

@@ -46,7 +46,7 @@ class TransformOperator(NonBlockingOperator):
                 "transform needs at least one of assignments/rename/project"
             )
         self.assignments = {
-            attr: compile_expression(expr) if isinstance(expr, str) else expr
+            attr: (compile_expression(expr) if isinstance(expr, str) else expr).prepare()
             for attr, expr in (assignments or {}).items()
         }
         self.rename = dict(rename or {})
@@ -88,7 +88,7 @@ class ValidateOperator(NonBlockingOperator):
         if not rules:
             raise DataflowError("validate needs at least one rule")
         self.rules = [
-            compile_expression(rule) if isinstance(rule, str) else rule
+            (compile_expression(rule) if isinstance(rule, str) else rule).prepare()
             for rule in rules
         ]
 

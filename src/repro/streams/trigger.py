@@ -34,6 +34,8 @@ The check window may be longer than the check cadence: ``window`` (default
 
 from __future__ import annotations
 
+from collections.abc import Collection
+
 from repro.errors import DataflowError
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.streams.base import BlockingOperator, ControlCommand
@@ -44,8 +46,13 @@ from repro.streams.windows import TupleCache
 STAT_PREFIXES = ("avg", "min", "max", "sum", "last")
 
 
-def window_statistics(tuples: list[SensorTuple]) -> dict[str, object]:
-    """Synthesize the statistics payload trigger conditions run against."""
+def window_statistics(tuples: "Collection[SensorTuple]") -> dict[str, object]:
+    """Synthesize the statistics payload trigger conditions run against.
+
+    Accepts any sized iterable of tuples — a list, or a
+    :class:`~repro.streams.windows.TupleCache` directly (the trigger's
+    flush passes its cache to skip the per-check window copy).
+    """
     stats: dict[str, object] = {"count": len(tuples)}
     if not tuples:
         return stats
@@ -84,7 +91,7 @@ class _TriggerBase(BlockingOperator):
             raise DataflowError("trigger needs at least one target sensor")
         if isinstance(condition, str):
             condition = compile_expression(condition)
-        self.condition = condition
+        self.condition = condition.prepare()
         self.targets = tuple(targets)
         self.window = float(window) if window is not None else self.interval
         if self.window < self.interval:
@@ -101,10 +108,10 @@ class _TriggerBase(BlockingOperator):
 
     def _flush(self, now: float) -> list[SensorTuple]:
         self.cache.prune(before=now - self.window)
-        window = self.cache.snapshot()
-        if not window:
+        if not self.cache:
             return []
-        stats_payload = window_statistics(window)
+        # Non-copying: statistics iterate the cache in place.
+        stats_payload = window_statistics(self.cache)
         try:
             fired = self.condition.evaluate_bool(stats_payload)
         except Exception:

@@ -38,7 +38,8 @@ class VirtualPropertyOperator(NonBlockingOperator):
         if not property_name:
             raise DataflowError("virtual property needs a property name")
         self.property_name = property_name
-        self.spec = compile_expression(spec) if isinstance(spec, str) else spec
+        spec = compile_expression(spec) if isinstance(spec, str) else spec
+        self.spec = spec.prepare()
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         if self.property_name in tuple_:

@@ -9,11 +9,21 @@ time intervals".  It supports the two policies blocking operators need:
 
 An optional ``max_tuples`` bound protects node memory; when full, the
 oldest tuples are evicted and counted, which the monitor reports.
+
+Operators that maintain **running accumulators** over the cache register an
+``on_evict`` callback: it fires once per tuple leaving through ``add``
+overflow or ``prune``, so incremental state can be decremented without
+rescanning.  Bulk lifecycle operations (``drain``, ``clear``, ``restore``)
+do *not* fire it — the owning operator resets its accumulators itself on
+those paths.  Iterating the cache (``for t in cache``) walks the underlying
+deque without copying; ``snapshot()`` is the copying variant for callers
+that must outlive subsequent mutation.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 from repro.errors import StreamLoaderError
 from repro.streams.tuple import SensorTuple
@@ -22,17 +32,25 @@ from repro.streams.tuple import SensorTuple
 class TupleCache:
     """Bounded FIFO cache of tuples keyed by arrival order."""
 
-    def __init__(self, max_tuples: int = 100_000) -> None:
+    def __init__(
+        self,
+        max_tuples: int = 100_000,
+        on_evict: "Callable[[SensorTuple], None] | None" = None,
+    ) -> None:
         if max_tuples <= 0:
             raise StreamLoaderError(f"max_tuples must be positive: {max_tuples}")
         self._buffer: deque[SensorTuple] = deque()
         self._max = max_tuples
         self.evicted = 0
+        #: Per-tuple eviction hook (overflow and prune only).
+        self.on_evict = on_evict
 
     def add(self, tuple_: SensorTuple) -> None:
         if len(self._buffer) >= self._max:
-            self._buffer.popleft()
+            evicted = self._buffer.popleft()
             self.evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
         self._buffer.append(tuple_)
 
     def drain(self) -> list[SensorTuple]:
@@ -50,9 +68,12 @@ class TupleCache:
         first retained tuple, matching the paper's fresh-data orientation.
         """
         pruned = 0
+        on_evict = self.on_evict
         while self._buffer and self._buffer[0].stamp.time < before:
-            self._buffer.popleft()
+            evicted = self._buffer.popleft()
             pruned += 1
+            if on_evict is not None:
+                on_evict(evicted)
         return pruned
 
     def snapshot(self) -> list[SensorTuple]:

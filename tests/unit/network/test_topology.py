@@ -88,6 +88,95 @@ class TestRouting:
         assert diamond.route_latency("a", "d") == pytest.approx(0.002)
 
 
+class TestRouteCache:
+    def test_generation_bumps_on_membership_changes(self):
+        topo = Topology()
+        start = topo.generation
+        topo.add_node("a")
+        topo.add_node("b")
+        assert topo.generation > start
+        mark = topo.generation
+        topo.add_link("a", "b")
+        assert topo.generation > mark
+
+    def test_generation_bumps_on_liveness_and_routing_attrs(self, diamond):
+        mark = diamond.generation
+        diamond.node("b").fail()
+        assert diamond.generation > mark
+        mark = diamond.generation
+        diamond.node("b").recover()
+        assert diamond.generation > mark
+        mark = diamond.generation
+        diamond.link("a", "b").latency = 0.5
+        assert diamond.generation > mark
+        mark = diamond.generation
+        diamond.link("a", "b").bandwidth = 1.0
+        assert diamond.generation > mark
+
+    def test_no_bump_on_noop_write(self, diamond):
+        link = diamond.link("a", "b")
+        mark = diamond.generation
+        link.latency = link.latency
+        diamond.node("b").up = True  # already up
+        assert diamond.generation == mark
+
+    def test_non_routing_attrs_do_not_invalidate(self, diamond):
+        diamond.route("a", "d")
+        mark = diamond.generation
+        diamond.link("a", "b").account(100.0)
+        diamond.node("b").work_done = 5.0
+        assert diamond.generation == mark
+
+    def test_cached_route_updates_after_failure(self, diamond):
+        assert diamond.route("a", "d") == ["a", "b", "d"]
+        diamond.node("b").fail()
+        assert diamond.route("a", "d") == ["a", "c", "d"]
+
+    def test_returned_path_is_a_fresh_list(self, diamond):
+        path = diamond.route("a", "d")
+        path.append("junk")
+        assert diamond.route("a", "d") == ["a", "b", "d"]
+
+    def test_unreachable_is_cached_and_revivable(self, diamond):
+        diamond.node("b").fail()
+        diamond.node("c").fail()
+        for _ in range(2):  # second raise comes from the cache
+            with pytest.raises(UnreachableError):
+                diamond.route("a", "d")
+        diamond.node("c").recover()
+        assert diamond.route("a", "d") == ["a", "c", "d"]
+
+    def test_dead_endpoint_detected_with_warm_cache(self, diamond):
+        diamond.route("a", "d")
+        diamond.node("d").fail()
+        with pytest.raises(UnreachableError, match="down"):
+            diamond.route("a", "d")
+
+    def test_route_info_matches_route(self, diamond):
+        info = diamond.route_info("a", "d")
+        assert list(info.path) == diamond.route("a", "d")
+        assert [link.latency for link in info.links] == [0.001, 0.001]
+        assert diamond.route_latency("a", "d") == pytest.approx(
+            diamond.path_latency(["a", "b", "d"])
+        )
+
+    def test_cache_disabled_still_routes(self):
+        topo = Topology(cache_routes=False)
+        for name in "ab":
+            topo.add_node(name)
+        topo.add_link("a", "b")
+        assert topo.route("a", "b") == ["a", "b"]
+        topo.node("b").fail()
+        with pytest.raises(UnreachableError):
+            topo.route("a", "b")
+
+    def test_uncached_is_the_oracle(self, diamond):
+        diamond.route("a", "d")
+        diamond.link("b", "d").latency = 1.0  # b path now slower
+        assert diamond.route("a", "d") == diamond.route_uncached("a", "d")
+        assert diamond.route("a", "d") == ["a", "c", "d"]
+
+
 class TestBuilders:
     def test_star(self):
         topo = Topology.star(leaf_count=5)

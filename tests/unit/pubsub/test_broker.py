@@ -103,6 +103,109 @@ class TestSubscriptionRouting:
         assert counts == {"a": 1, "b": 1}
 
 
+class TestKnownSensorBackfill:
+    def test_late_broker_knows_existing_sensors(self, local_broker_net):
+        # A broker created after sensors were published missed their
+        # advertisements; creation back-fills from the registry.
+        net = local_broker_net
+        net.publish(make_metadata("temp-1"))
+        net.publish(make_metadata("temp-2"))
+        late = net.broker("n-late")
+        assert late.known_sensors == {"temp-1", "temp-2"}
+
+    def test_backfill_excludes_unpublished(self, local_broker_net):
+        net = local_broker_net
+        net.publish(make_metadata("temp-1"))
+        net.publish(make_metadata("temp-2"))
+        net.unpublish("temp-1")
+        assert net.broker("n-late").known_sensors == {"temp-2"}
+
+    def test_empty_registry_backfills_nothing(self, local_broker_net):
+        assert local_broker_net.broker("n-late").known_sensors == set()
+
+
+class TestBrokerSubscriptionStore:
+    def test_subscriptions_keep_insertion_order(self):
+        from repro.pubsub.broker import Broker
+        from repro.pubsub.subscription import Subscription
+
+        broker = Broker(node_id="n1")
+        subs = [
+            Subscription(filter=SubscriptionFilter(), callback=lambda t: None,
+                         node_id="n1")
+            for _ in range(5)
+        ]
+        for sub in subs:
+            broker.add_subscription(sub)
+        assert broker.subscriptions == subs
+        broker.remove_subscription(subs[2])
+        assert broker.subscriptions == subs[:2] + subs[3:]
+
+    def test_remove_unknown_subscription_raises(self):
+        from repro.pubsub.broker import Broker
+        from repro.pubsub.subscription import Subscription
+
+        broker = Broker(node_id="n1")
+        stranger = Subscription(filter=SubscriptionFilter(),
+                                callback=lambda t: None, node_id="n1")
+        with pytest.raises(PubSubError, match="not on broker"):
+            broker.remove_subscription(stranger)
+
+    def test_double_unsubscribe_raises(self, local_broker_net):
+        net = local_broker_net
+        subscription = net.subscribe("n1", SubscriptionFilter(), lambda t: None)
+        net.unsubscribe(subscription)
+        with pytest.raises(PubSubError, match="not on broker"):
+            net.unsubscribe(subscription)
+
+
+class TestIncrementalRouteMaintenance:
+    def routes_snapshot(self, net):
+        return {
+            sensor_id: set(id(s) for s in subs)
+            for sensor_id, subs in net._routes.items()
+            if subs
+        }
+
+    def test_subscribe_matches_rebuild_all(self, local_broker_net):
+        net = local_broker_net
+        for i in range(3):
+            net.publish(make_metadata(f"temp-{i}"))
+        net.subscribe("n1", SubscriptionFilter(sensor_type="temperature"),
+                      lambda t: None)
+        net.subscribe("n2", SubscriptionFilter(sensor_type="rain"),
+                      lambda t: None)
+        incremental = self.routes_snapshot(net)
+        net._rebuild_all_routes()
+        assert self.routes_snapshot(net) == incremental
+
+    def test_unsubscribe_matches_rebuild_all(self, local_broker_net):
+        net = local_broker_net
+        for i in range(3):
+            net.publish(make_metadata(f"temp-{i}"))
+        keep = net.subscribe("n1", SubscriptionFilter(), lambda t: None)
+        drop = net.subscribe("n2", SubscriptionFilter(), lambda t: None)
+        net.unsubscribe(drop)
+        incremental = self.routes_snapshot(net)
+        net._rebuild_all_routes()
+        assert self.routes_snapshot(net) == incremental
+        assert all(id(keep) in subs for subs in incremental.values())
+
+    def test_interleaved_publish_subscribe_consistent(self, local_broker_net):
+        net = local_broker_net
+        net.publish(make_metadata("temp-0"))
+        s1 = net.subscribe("n1", SubscriptionFilter(sensor_type="temperature"),
+                           lambda t: None)
+        net.publish(make_metadata("temp-1"))
+        s2 = net.subscribe("n2", SubscriptionFilter(), lambda t: None)
+        net.unsubscribe(s1)
+        net.publish(make_metadata("temp-2"))
+        incremental = self.routes_snapshot(net)
+        net._rebuild_all_routes()
+        assert self.routes_snapshot(net) == incremental
+        assert all(id(s2) in subs for subs in incremental.values())
+
+
 class TestSuppression:
     def test_paused_subscription_generates_no_traffic(self, broker_net):
         net = broker_net

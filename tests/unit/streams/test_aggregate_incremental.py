@@ -1,0 +1,178 @@
+"""Incremental aggregation accumulators vs the rescan reference path.
+
+Satellite of the hot-path PR: ``AggregationOperator(incremental=True)``
+maintains per-group running count/sum/min/max and a running bounding box;
+these tests pin its outputs against ``incremental=False`` (the original
+rescan-every-flush implementation, kept verbatim) and pin that the
+accumulators are rebuilt faithfully across ``checkpoint()``/``restore()``.
+
+AVG/SUM use approximate comparison: a running sum accumulates ~1e-15 of
+float drift relative to numpy's pairwise summation — documented behaviour,
+not a bug.
+"""
+
+import pytest
+
+from repro.streams.aggregate import AggregationOperator
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+FUNCTIONS = ["COUNT", "AVG", "SUM", "MIN", "MAX"]
+
+
+def make_tuple(i, station="st-0", value=None, at=None, payload=None):
+    return SensorTuple(
+        payload=payload if payload is not None else {
+            "station": station,
+            "temperature": value if value is not None else float(i % 13),
+        },
+        stamp=SttStamp(
+            time=float(i) if at is None else at,
+            location=Point(34.5 + (i % 5) * 0.01, 135.3 + (i % 3) * 0.01),
+        ),
+        source="test",
+        seq=i,
+    )
+
+
+def pair(function, **kwargs):
+    """(incremental, rescan) operators with identical configuration."""
+    common = dict(interval=60.0, attributes=["temperature"], function=function)
+    common.update(kwargs)
+    return (
+        AggregationOperator(incremental=True, **common),
+        AggregationOperator(incremental=False, **common),
+    )
+
+
+def assert_outputs_match(incremental, rescan):
+    assert len(incremental) == len(rescan)
+    for inc, ref in zip(incremental, rescan):
+        assert set(inc.payload) == set(ref.payload)
+        for key, ref_value in ref.payload.items():
+            if isinstance(ref_value, float):
+                assert inc.payload[key] == pytest.approx(ref_value, abs=1e-9)
+            else:
+                assert inc.payload[key] == ref_value
+        assert inc.stamp == ref.stamp
+        assert inc.source == ref.source
+        assert inc.seq == ref.seq
+
+
+class TestFlushParity:
+    @pytest.mark.parametrize("function", FUNCTIONS)
+    def test_tumbling_grouped(self, function):
+        inc_op, ref_op = pair(function, group_by="station")
+        for i in range(200):
+            tuple_ = make_tuple(i, station=f"st-{i % 4}")
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        assert_outputs_match(inc_op.on_timer(60.0), ref_op.on_timer(60.0))
+        # Tumbling consumed the window: the next flush is empty for both.
+        assert inc_op.on_timer(120.0) == ref_op.on_timer(120.0) == []
+
+    @pytest.mark.parametrize("function", FUNCTIONS)
+    def test_sliding_window_prunes_identically(self, function):
+        inc_op, ref_op = pair(function, window=100.0, group_by="station")
+        for i in range(300):
+            tuple_ = make_tuple(i, station=f"st-{i % 3}", at=float(i))
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        for now in (300.0, 360.0):
+            assert_outputs_match(inc_op.on_timer(now), ref_op.on_timer(now))
+
+    def test_cache_overflow_evictions_tracked(self):
+        # A tiny cache forces evictions through on_evict; accumulators must
+        # retire the departed tuples exactly like the rescan of what's left.
+        inc_op, ref_op = pair("MIN", group_by="station", max_cache=25)
+        for i in range(120):
+            tuple_ = make_tuple(i, station=f"st-{i % 4}", value=float((i * 7) % 31))
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        assert_outputs_match(inc_op.on_timer(60.0), ref_op.on_timer(60.0))
+
+    def test_eviction_of_extremum_recomputes(self):
+        op = AggregationOperator(
+            interval=60.0, attributes=["temperature"], function="MAX",
+            incremental=True, max_cache=3,
+        )
+        for i, value in enumerate([50.0, 1.0, 2.0, 3.0]):  # 50.0 evicted
+            op.on_tuple(make_tuple(i, value=value))
+        [out] = op.on_timer(60.0)
+        assert out.payload["max_temperature"] == 3.0
+
+    def test_null_and_non_numeric_values_fall_back(self):
+        # Non-numeric values can't be accumulated; that attribute rescans
+        # at flush and must match the reference path, nulls excluded.
+        inc_op, ref_op = pair("COUNT")
+        payloads = [
+            {"temperature": 1.5}, {"temperature": None}, {"temperature": True},
+            {"temperature": 3}, {},
+        ]
+        for i, payload in enumerate(payloads):
+            tuple_ = make_tuple(i, payload=dict(payload))
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        assert_outputs_match(inc_op.on_timer(60.0), ref_op.on_timer(60.0))
+
+    def test_all_null_group_emits_none(self):
+        inc_op, ref_op = pair("AVG")
+        for i in range(3):
+            tuple_ = make_tuple(i, payload={"station": "st-0"})
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        assert_outputs_match(inc_op.on_timer(60.0), ref_op.on_timer(60.0))
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("function", ["AVG", "MIN", "COUNT"])
+    def test_accumulators_survive_restore(self, function):
+        op = AggregationOperator(
+            interval=60.0, attributes=["temperature"], function=function,
+            group_by="station", window=500.0, incremental=True,
+        )
+        for i in range(150):
+            op.on_tuple(make_tuple(i, station=f"st-{i % 3}", at=float(i)))
+        state = op.checkpoint()
+
+        restored = AggregationOperator(
+            interval=60.0, attributes=["temperature"], function=function,
+            group_by="station", window=500.0, incremental=True,
+        )
+        restored.restore(state)
+        assert set(restored._groups) == set(op._groups)
+
+        # Both continue identically: same new tuples, same flush output.
+        for i in range(150, 200):
+            tuple_ = make_tuple(i, station=f"st-{i % 3}", at=float(i))
+            op.on_tuple(tuple_)
+            restored.on_tuple(tuple_)
+        assert_outputs_match(restored.on_timer(200.0), op.on_timer(200.0))
+
+    def test_restored_matches_rescan_reference(self):
+        # The rebuilt accumulators must agree with a rescan operator
+        # restored from the same checkpoint (format is shared).
+        inc_op, ref_op = pair("SUM", group_by="station", window=400.0)
+        for i in range(100):
+            tuple_ = make_tuple(i, station=f"st-{i % 2}", at=float(i))
+            inc_op.on_tuple(tuple_)
+            ref_op.on_tuple(tuple_)
+        state = inc_op.checkpoint()
+        restored = AggregationOperator(
+            interval=60.0, attributes=["temperature"], function="SUM",
+            group_by="station", window=400.0, incremental=True,
+        )
+        restored.restore(state)
+        assert_outputs_match(restored.on_timer(100.0), ref_op.on_timer(100.0))
+
+    def test_reset_clears_accumulators(self):
+        op = AggregationOperator(
+            interval=60.0, attributes=["temperature"], function="AVG",
+            incremental=True,
+        )
+        op.on_tuple(make_tuple(0))
+        assert op._groups
+        op.reset()
+        assert not op._groups
+        assert op.on_timer(60.0) == []
