@@ -1,0 +1,298 @@
+"""Observability overhead benchmark (writes ``BENCH_3.json``).
+
+Measures the hot paths instrumented by the observability subsystem under
+three configurations:
+
+- ``none``        — no observability attached (the PR 2 configuration;
+  the instrumentation costs one attribute read per call);
+- ``sampling=0``  — metrics and lineage on, tracing sampled out
+  (the recommended production setting);
+- ``sampling=1``  — every tuple traced end to end (the test/debug
+  setting: spans allocated on every hop).
+
+Paths measured:
+
+- ``send_deliver``   — full simulator cycle on the static line-8
+  topology, the exact workload of ``run_hotpath.bench_send_deliver``;
+- ``publish_fanout`` — broker ``publish_data`` to 20 subscriptions, the
+  exact workload of ``run_hotpath.bench_publish_fanout``;
+- ``process_receive`` — an :class:`OperatorProcess` hosting a filter,
+  fed directly (operator dispatch + span recording, no network).
+
+For the two workloads shared with ``BENCH_2.json``, the report also
+states the regression of the ``sampling=0`` rate against the recorded
+PR 2 numbers (acceptance bound: under 5%).
+
+Usage::
+
+    python -m benchmarks.run_obs --json            # full run
+    python -m benchmarks.run_obs --json --smoke    # CI smoke (tiny)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.obs import Observability
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.registry import SensorMetadata
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.runtime.process import OperatorProcess
+from repro.schema.schema import StreamSchema
+from repro.streams.filter import FilterOperator
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+#: The three configurations every path is measured under.
+CONFIGS = ("none", "sampling0", "sampling1")
+
+
+def _best_rate(fn, iterations: int, repeat: int = 3) -> float:
+    """Best-of-N ops/sec for ``fn(iterations)``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(iterations)
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+def _make_obs(config: str) -> "Observability | None":
+    if config == "none":
+        return None
+    return Observability(sampling=0.0 if config == "sampling0" else 1.0)
+
+
+def _make_tuple(i: int) -> SensorTuple:
+    return SensorTuple(
+        payload={"station": "umeda", "temperature": 25.0 + (i % 7)},
+        stamp=SttStamp(time=float(i), location=Point(34.69, 135.50)),
+        source="bench",
+        seq=i,
+    )
+
+
+def _line_topology() -> Topology:
+    topo = Topology()
+    for i in range(8):
+        topo.add_node(f"n{i}")
+    for i in range(7):
+        topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
+    return topo
+
+
+# -- measurements -----------------------------------------------------------
+
+
+def bench_send_deliver(iterations: int) -> dict:
+    """Simulator cycle with the tracer absent / idle / recording."""
+
+    def cycle(n, config="none"):
+        sim = NetworkSimulator(topology=_line_topology())
+        obs = _make_obs(config)
+        payload: object = 1
+        if obs is not None:
+            sim.tracer = obs.tracer
+            obs.tracer.bind_clock(sim.clock)
+            if config == "sampling1":
+                ctx = obs.tracer.start_trace("publish", 0.0, source="bench")
+                payload = _make_tuple(0).with_trace(ctx)
+        sink = lambda payload: None
+        send = sim.send
+        run = sim.clock.run
+        batch = 500
+        done = 0
+        while done < n:
+            for _ in range(batch):
+                send("n0", "n7", payload, 100.0, sink)
+            run()
+            done += batch
+
+    return {
+        config: round(_best_rate(lambda n, c=config: cycle(n, c), iterations))
+        for config in CONFIGS
+    }
+
+
+def bench_publish_fanout(iterations: int, subscribers: int = 20) -> dict:
+    """Broker fan-out of one reading, per configuration."""
+
+    def fanout(n, config="none"):
+        sim = NetworkSimulator(topology=_line_topology())
+        obs = _make_obs(config)
+        network = BrokerNetwork(netsim=sim, obs=obs)
+        if obs is not None:
+            sim.tracer = obs.tracer
+            obs.tracer.bind_clock(sim.clock)
+        for i in range(subscribers):
+            network.subscribe(
+                f"n{i % 8}",
+                SubscriptionFilter(),
+                lambda tuple_: None,
+            )
+        network.publish(SensorMetadata(
+            sensor_id="bench-sensor",
+            sensor_type="weather",
+            schema=StreamSchema.build(
+                {"temperature": "float"}, themes=("weather/temperature",)
+            ),
+            frequency=1.0,
+            location=Point(34.69, 135.50),
+            node_id="n0",
+        ))
+        reading = _make_tuple(0)
+        publish_data = network.publish_data
+        run = sim.clock.run
+        batch = 50
+        done = 0
+        while done < n:
+            for _ in range(batch):
+                publish_data("bench-sensor", reading)
+            run()
+            done += batch
+
+    return {
+        "subscribers": subscribers,
+        **{
+            config: round(
+                _best_rate(lambda n, c=config: fanout(n, c), iterations)
+            )
+            for config in CONFIGS
+        },
+    }
+
+
+def bench_process_receive(iterations: int) -> dict:
+    """Operator process dispatch: per-tuple counter + span recording."""
+
+    def feed(n, config="none"):
+        sim = NetworkSimulator(topology=_line_topology())
+        obs = _make_obs(config)
+        if obs is not None:
+            sim.tracer = obs.tracer
+            obs.tracer.bind_clock(sim.clock)
+        process = OperatorProcess(
+            process_id="bench:filter",
+            operator=FilterOperator("temperature > 24"),
+            node_id="n0",
+            netsim=sim,
+            obs=obs,
+        )
+        process.start()
+        tuple_ = _make_tuple(0)
+        if obs is not None and config == "sampling1":
+            ctx = obs.tracer.start_trace("publish", 0.0, source="bench")
+            tuple_ = tuple_.with_trace(ctx)
+        receive = process.receive
+        for _ in range(n):
+            receive(tuple_)
+
+    return {
+        config: round(_best_rate(lambda n, c=config: feed(n, c), iterations))
+        for config in CONFIGS
+    }
+
+
+# -- runner -----------------------------------------------------------------
+
+
+def _overheads(rates: dict) -> dict:
+    """Slowdown of each instrumented config relative to ``none`` (%)."""
+    base = rates.get("none", 0)
+    out = {}
+    for config in ("sampling0", "sampling1"):
+        if base and rates.get(config):
+            out[f"{config}_overhead_pct"] = round(
+                (base - rates[config]) / base * 100.0, 1
+            )
+    return out
+
+
+def _vs_bench2(rates: dict, bench2: "dict | None", path: str) -> dict:
+    """Regression of the sampling=0 rate vs the recorded PR 2 number."""
+    if not bench2:
+        return {}
+    recorded = bench2.get("results", {}).get(path, {}).get("after_ops_per_sec")
+    if not recorded or not rates.get("sampling0"):
+        return {}
+    return {
+        "bench2_after_ops_per_sec": recorded,
+        "sampling0_vs_bench2_pct": round(
+            (recorded - rates["sampling0"]) / recorded * 100.0, 1
+        ),
+    }
+
+
+def run(smoke: bool = False, bench2: "dict | None" = None) -> dict:
+    scale = 20 if smoke else 1
+    send_iters = 50_000 // scale
+    fanout_iters = 2_000 // scale
+    receive_iters = 100_000 // scale
+
+    results = {}
+    for path, rates in (
+        ("send_deliver", bench_send_deliver(send_iters)),
+        ("publish_fanout", bench_publish_fanout(fanout_iters)),
+        ("process_receive", bench_process_receive(receive_iters)),
+    ):
+        rates.update(_overheads(rates))
+        rates.update(_vs_bench2(rates, bench2, path))
+        results[path] = rates
+
+    return {
+        "bench": "obs-overhead",
+        "issue": 3,
+        "smoke": smoke,
+        "topology": "line-8 (static)",
+        "configs": {
+            "none": "no Observability attached",
+            "sampling0": "metrics + lineage on, tracing sampled out",
+            "sampling1": "every tuple traced end to end",
+        },
+        "notes": {
+            "send_deliver": "full simulator cycle (route, account, "
+                            "schedule, deliver); run_hotpath workload",
+            "publish_fanout": "broker publish_data to 20 subscriptions; "
+                              "run_hotpath workload",
+            "process_receive": "operator process dispatch of a filter, "
+                               "fed directly (no network hop)",
+            "acceptance": "sampling0 regresses < 5% vs BENCH_2.json on "
+                          "the shared workloads",
+        },
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_3.json next to the repo root")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny iteration counts (CI crash check)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: <repo>/BENCH_3.json)")
+    args = parser.parse_args()
+
+    root = Path(__file__).resolve().parent.parent
+    bench2 = None
+    bench2_path = root / "BENCH_2.json"
+    if bench2_path.exists():
+        bench2 = json.loads(bench2_path.read_text())
+
+    report = run(smoke=args.smoke, bench2=bench2)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json:
+        out = args.out or root / "BENCH_3.json"
+        out.write_text(text + "\n")
+        print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

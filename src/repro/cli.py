@@ -8,7 +8,11 @@ Commands:
 - ``validate``   — consistency-check a saved canvas document (JSON)
   against the Osaka fleet's registry;
 - ``translate``  — print the DSN program of a saved canvas document;
-- ``sensors``    — list the (simulated) sensor fleet with advertisements.
+- ``sensors``    — list the (simulated) sensor fleet with advertisements;
+- ``trace``      — run a dataflow with tracing on and print span trees
+  (slowest sink-reaching traces, or the trace of one tuple) with lineage;
+- ``metrics``    — run the scenario and print the metrics registry in
+  Prometheus text exposition (or JSON snapshot) form.
 """
 
 from __future__ import annotations
@@ -46,6 +50,73 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
           f"sticker: {stack.sticker.pushed} tuples | "
           f"traffic collected: "
           f"{len(deployment.collected('traffic-collector'))}")
+    return 0
+
+
+def _run_observed(args: argparse.Namespace):
+    """Build, deploy, and run a dataflow with observability attached.
+
+    ``args.dataflow`` is either the literal ``osaka`` (the Section 3
+    scenario) or a path to a saved canvas JSON document.
+    """
+    stack = build_stack(
+        hot=not getattr(args, "cool", False),
+        extended=getattr(args, "extended", False),
+        seed=getattr(args, "seed", 7),
+        observability=args.sampling,
+    )
+    name = getattr(args, "dataflow", "osaka")
+    if name == "osaka":
+        flow = osaka_scenario_flow(stack)
+    else:
+        flow = _load_canvas(name)
+    deployment = stack.executor.deploy(flow)
+    stack.run_until(args.hours * 3600.0)
+    return stack, deployment
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.render import (
+        render_trace,
+        slowest_sink_traces,
+        trace_for_tuple,
+    )
+
+    stack, _ = _run_observed(args)
+    obs = stack.obs
+    tracer = obs.tracer
+    if args.tuple_id is not None:
+        trace_id = trace_for_tuple(tracer, args.tuple_id)
+        if trace_id is None:
+            print(f"no retained trace recorded tuple {args.tuple_id!r} "
+                  f"(sampled out, evicted, or never published)",
+                  file=sys.stderr)
+            return 1
+        trace_ids = [trace_id]
+    else:
+        trace_ids = slowest_sink_traces(tracer, args.slowest)
+        if not trace_ids:
+            print("no trace reached a sink (did the trigger fire? "
+                  "try --hours 15)", file=sys.stderr)
+            return 1
+    for i, trace_id in enumerate(trace_ids):
+        if i:
+            print()
+        print(render_trace(tracer, trace_id, lineage=obs.lineage))
+    print()
+    print(f"{tracer.traces_started} traces started, "
+          f"{len(tracer.trace_ids())} retained, "
+          f"{obs.lineage.recorded} lineage records")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    stack, _ = _run_observed(args)
+    registry = stack.obs.metrics
+    if args.json:
+        print(registry.to_json())
+    else:
+        print(registry.expose(), end="")
     return 0
 
 
@@ -135,6 +206,45 @@ def build_parser() -> argparse.ArgumentParser:
     sensors = sub.add_parser("sensors", help="list the simulated fleet")
     sensors.add_argument("--extended", action="store_true")
     sensors.set_defaults(func=_cmd_sensors)
+
+    trace = sub.add_parser(
+        "trace", help="run a dataflow traced and print span trees + lineage"
+    )
+    trace.add_argument(
+        "dataflow", nargs="?", default="osaka",
+        help="'osaka' (Section 3 scenario) or a canvas JSON path",
+    )
+    group = trace.add_mutually_exclusive_group()
+    group.add_argument("--tuple-id", metavar="SOURCE#SEQ",
+                       help="print the trace of one tuple (key: source#seq)")
+    group.add_argument("--slowest", type=int, default=1, metavar="N",
+                       help="print the N slowest sink-reaching traces")
+    trace.add_argument("--hours", type=float, default=15.0,
+                       help="virtual hours to simulate (default 15)")
+    trace.add_argument("--sampling", type=float, default=1.0,
+                       help="trace sampling rate in [0, 1] (default 1.0)")
+    trace.add_argument("--cool", action="store_true")
+    trace.add_argument("--extended", action="store_true")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a dataflow and print the metrics registry"
+    )
+    metrics.add_argument(
+        "dataflow", nargs="?", default="osaka",
+        help="'osaka' (Section 3 scenario) or a canvas JSON path",
+    )
+    metrics.add_argument("--hours", type=float, default=15.0,
+                         help="virtual hours to simulate (default 15)")
+    metrics.add_argument("--sampling", type=float, default=1.0,
+                         help="trace sampling rate in [0, 1] (default 1.0)")
+    metrics.add_argument("--json", action="store_true",
+                         help="JSON snapshot instead of text exposition")
+    metrics.add_argument("--cool", action="store_true")
+    metrics.add_argument("--extended", action="store_true")
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -70,6 +70,9 @@ class ScnController:
         self.load_weight = load_weight
         self.distance_weight = distance_weight
         self.migrations: list[Migration] = []
+        #: Optional :class:`repro.obs.Tracer`; placement decisions are
+        #: recorded as control-plane events when set (by the executor).
+        self.tracer: "object | None" = None
 
     # -- service discovery ---------------------------------------------------
 
@@ -141,6 +144,15 @@ class ScnController:
                 decision.node_id, 0.0
             ) + demands.get(service.name, 1.0)
             locations[service.name] = [decision.node_id]
+        if self.tracer is not None:
+            for decision in placements.values():
+                self.tracer.event(
+                    "placement",
+                    service=decision.service,
+                    node=decision.node_id,
+                    score=decision.score,
+                    reason=decision.reason,
+                )
         return placements
 
     def _topological_services(self, program: DsnProgram) -> list[DsnService]:
@@ -178,9 +190,18 @@ class ScnController:
         service = DsnService(
             role=ServiceRole.OPERATOR, name=service_name, kind="recovered"
         )
-        return self._score_nodes(
+        decision = self._score_nodes(
             service, upstream_nodes, demand, projected={}, avoid=avoid
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                "replacement",
+                service=decision.service,
+                node=decision.node_id,
+                score=decision.score,
+                avoided=", ".join(sorted(avoid)) if avoid else "",
+            )
+        return decision
 
     def _score_nodes(
         self,

@@ -66,6 +66,12 @@ class NetworkSimulator:
         self.stats = _TrafficStats()
         #: Called with (message, reason) whenever a message is dropped.
         self.on_drop: "Callable[[Message, str], None] | None" = None
+        #: Observability tracer (``repro.obs.trace.Tracer``).  When set,
+        #: every send whose payload carries a trace context records a
+        #: ``transmit`` span covering the full propagation delay, and
+        #: losses record ``drop`` spans.  ``None`` costs one attribute
+        #: read per send.
+        self.tracer = None
 
     def send(
         self,
@@ -92,12 +98,21 @@ class NetworkSimulator:
         :attr:`on_drop` hook still fires for every loss.
         """
         policy = qos or self.default_qos
-        message = Message(source, target, payload, size_bytes, self.clock.now)
+        now = self.clock.now
+        tracer = self.tracer
+        ctx = getattr(payload, "trace", None) if tracer is not None else None
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size_bytes
 
         if source == target:
+            if ctx is not None:
+                span = tracer.span(
+                    ctx, "transmit", now,
+                    **{"from": source, "to": target},
+                )
+                payload = payload.with_trace(ctx.child_of(span))
+            message = Message(source, target, payload, size_bytes, now)
             self.clock.schedule(
                 0.0, lambda: self._deliver(message, on_delivery, on_drop)
             )
@@ -108,7 +123,10 @@ class NetworkSimulator:
             # a dict hit, not a routing-graph rebuild plus per-hop lookups.
             info = self.topology.route_info(source, target)
         except UnreachableError as exc:
-            self._drop(message, str(exc), on_drop)
+            self._drop(
+                Message(source, target, payload, size_bytes, now),
+                str(exc), on_drop,
+            )
             return None
 
         segments = policy.segments(size_bytes)
@@ -125,12 +143,20 @@ class NetworkSimulator:
             counters["messages_transferred"] += 1
         if delay > policy.max_latency:
             self._drop(
-                message,
+                Message(source, target, payload, size_bytes, now),
                 f"route latency {delay:.4f}s exceeds QoS budget "
                 f"{policy.max_latency}s",
                 on_drop,
             )
             return None
+        if ctx is not None:
+            span = tracer.span(
+                ctx, "transmit", now, now + delay,
+                **{"from": source, "to": target,
+                   "hops": len(info.hops), "bytes": size_bytes},
+            )
+            payload = payload.with_trace(ctx.child_of(span))
+        message = Message(source, target, payload, size_bytes, now)
         self.clock.schedule(
             delay, lambda: self._deliver(message, on_delivery, on_drop)
         )
@@ -159,6 +185,14 @@ class NetworkSimulator:
         on_drop: "Callable[[Message, str], None] | None" = None,
     ) -> None:
         self.stats.messages_dropped += 1
+        tracer = self.tracer
+        if tracer is not None:
+            ctx = getattr(message.payload, "trace", None)
+            if ctx is not None:
+                tracer.span(
+                    ctx, "drop", self.clock.now, reason=reason,
+                    **{"from": message.source, "to": message.target},
+                )
         if on_drop is not None:
             on_drop(message, reason)
         if self.on_drop is not None:

@@ -1,0 +1,99 @@
+"""Lineage: which input tuples contributed to each derived tuple.
+
+Non-blocking operators pass a tuple through (possibly rewritten), so its
+identity — the ``source#seq`` key stamped at emission — survives the hop
+and needs no bookkeeping.  Blocking operators (aggregation, join) consume
+many inputs and emit *new* tuples; they record, at flush time, the exact
+input keys behind each output.  :meth:`LineageStore.explain` then resolves
+any sink tuple transitively back to the source readings that produced it.
+
+Keys are human-readable on purpose (``rain-osaka-1#13``) so trace trees,
+dead-letter records and lineage explanations all speak the same language.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.streams.tuple import SensorTuple
+
+
+def tuple_key(tuple_: SensorTuple) -> str:
+    """The stable identity of a tuple: producing source + sequence number."""
+    return f"{tuple_.source}#{tuple_.seq}"
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One derivation: an emitted tuple and its contributing inputs."""
+
+    output: str
+    inputs: tuple[str, ...]
+    operator: str
+    time: float
+
+
+class LineageStore:
+    """Bounded map of derived-tuple key -> contributing input keys."""
+
+    def __init__(self, max_records: int = 50_000) -> None:
+        self.max_records = max_records
+        self._records: OrderedDict[str, LineageRecord] = OrderedDict()
+        self.recorded = 0
+        self.evicted = 0
+
+    def record(
+        self,
+        output: SensorTuple,
+        inputs: "list[SensorTuple] | tuple[SensorTuple, ...]",
+        operator: str,
+        time: float,
+    ) -> LineageRecord:
+        record = LineageRecord(
+            output=tuple_key(output),
+            inputs=tuple(tuple_key(t) for t in inputs),
+            operator=operator,
+            time=time,
+        )
+        self._records[record.output] = record
+        self.recorded += 1
+        while len(self._records) > self.max_records:
+            self._records.popitem(last=False)
+            self.evicted += 1
+        return record
+
+    def inputs(self, key: str) -> "tuple[str, ...] | None":
+        """Direct contributors of a derived tuple (None if not derived)."""
+        record = self._records.get(key)
+        return record.inputs if record is not None else None
+
+    def explain(self, key: str) -> list[str]:
+        """Resolve a tuple key transitively to its source tuple keys.
+
+        A key with no recorded derivation is its own source (pass-through
+        operators keep identity, so a sink tuple that was never aggregated
+        or joined explains to itself).  Order is deterministic:
+        depth-first, inputs in recorded order, de-duplicated.
+        """
+        sources: list[str] = []
+        seen: set[str] = set()
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self._records.get(current)
+            if record is None:
+                sources.append(current)
+                continue
+            # Reversed so the depth-first walk visits inputs in order.
+            stack.extend(reversed(record.inputs))
+        return sources
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()

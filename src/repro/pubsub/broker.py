@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.errors import PubSubError, UnknownSensorError
 from repro.network.netsim import NetworkSimulator
+from repro.obs.lineage import tuple_key
 from repro.pubsub.registry import SensorMetadata, SensorRegistry
 from repro.pubsub.subscription import Subscription, SubscriptionFilter
 from repro.streams.tuple import SensorTuple, estimate_size_bytes
@@ -107,10 +108,18 @@ class BrokerNetwork:
         netsim: "NetworkSimulator | None" = None,
         registry: "SensorRegistry | None" = None,
         retry_policy: "RetryPolicy | None" = None,
+        obs: "object | None" = None,
     ) -> None:
         self.netsim = netsim
         self.registry = registry if registry is not None else SensorRegistry()
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Observability bundle (``repro.obs.Observability``).  The broker
+        #: is where traces *begin*: a sampled publication gets a root
+        #: ``publish`` span and the context rides the tuple from there.
+        #: Assigning the ``obs`` property (also after construction — the
+        #: executor attaches its bundle to a bare broker network) caches
+        #: the hot-path counter instruments.
+        self.obs = obs
         self._brokers: dict[str, Broker] = {}
         #: sensor_id -> matching subscriptions (rebuilt on membership change).
         self._routes: dict[str, list[Subscription]] = {}
@@ -123,6 +132,26 @@ class BrokerNetwork:
         self.data_messages_suppressed = 0
         self.data_messages_retried = 0
         self.data_messages_dead_lettered = 0
+
+    @property
+    def obs(self) -> "object | None":
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: "object | None") -> None:
+        self._obs = value
+        self._published_counters: dict[str, object] = {}
+        if value is None:
+            self._retry_counter = None
+            self._dead_letter_counter = None
+            return
+        self._retry_counter = value.metrics.counter(
+            "broker_retries_total", "data-message redelivery attempts"
+        )
+        self._dead_letter_counter = value.metrics.counter(
+            "broker_dead_letters_total",
+            "tuples dead-lettered after retry exhaustion",
+        )
 
     # -- broker membership ---------------------------------------------------
 
@@ -259,6 +288,8 @@ class BrokerNetwork:
         subscription rather than silently dropped.
         """
         metadata = self.registry.get(sensor_id)
+        if self.obs is not None:
+            tuple_ = self._observe_publish(metadata, tuple_)
         initiated = 0
         for subscription in self._routes.get(sensor_id, ()):
             if not subscription.active:
@@ -272,6 +303,34 @@ class BrokerNetwork:
                 continue
             self._transmit(metadata, subscription, tuple_, attempt=0)
         return initiated
+
+    def _observe_publish(
+        self, metadata: SensorMetadata, tuple_: SensorTuple
+    ) -> SensorTuple:
+        """Count the publication and, if sampled, open the tuple's trace."""
+        obs = self.obs
+        counter = self._published_counters.get(metadata.sensor_id)
+        if counter is None:
+            counter = self._published_counters[metadata.sensor_id] = (
+                obs.metrics.counter(
+                    "broker_tuples_published_total",
+                    "readings published through the broker overlay",
+                    source=metadata.sensor_id,
+                )
+            )
+        counter.inc()
+        tracer = obs.tracer
+        if tuple_.trace is None and tracer.enabled:
+            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            ctx = tracer.start_trace(
+                "publish", now,
+                source=metadata.sensor_id,
+                node=metadata.node_id,
+                tuple=tuple_key(tuple_),
+            )
+            if ctx is not None:
+                tuple_ = tuple_.with_trace(ctx)
+        return tuple_
 
     def _transmit(
         self,
@@ -301,16 +360,38 @@ class BrokerNetwork:
         reason: str,
     ) -> None:
         """A data message was lost: back off and retry, or dead-letter."""
+        obs = self.obs
         if attempt < self.retry_policy.max_attempts:
             next_attempt = attempt + 1
             subscription.retries += 1
             self.data_messages_retried += 1
+            backoff = self.retry_policy.backoff(next_attempt)
+            if obs is not None:
+                self._retry_counter.inc()
+                if tuple_.trace is not None:
+                    now = self.netsim.clock.now
+                    obs.tracer.span(
+                        tuple_.trace, "retry", now, now + backoff,
+                        attempt=next_attempt,
+                        to=subscription.node_id,
+                        reason=reason,
+                    )
             self.netsim.clock.schedule(
-                self.retry_policy.backoff(next_attempt),
+                backoff,
                 lambda: self._transmit(metadata, subscription, tuple_, next_attempt),
             )
             return
         self.data_messages_dead_lettered += 1
-        subscription.dead_letter(tuple_, reason, failed_at=self.netsim.clock.now)
+        now = self.netsim.clock.now
+        if obs is not None:
+            self._dead_letter_counter.inc()
+            if tuple_.trace is not None:
+                obs.tracer.span(
+                    tuple_.trace, "dead-letter", now,
+                    subscription=subscription.subscription_id,
+                    to=subscription.node_id,
+                    reason=reason,
+                )
+        subscription.dead_letter(tuple_, reason, failed_at=now)
         if self.on_dead_letter is not None:
             self.on_dead_letter(subscription, tuple_, reason)

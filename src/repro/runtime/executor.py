@@ -225,6 +225,7 @@ class Executor:
         rebalance_interval: float = 300.0,
         checkpoint_interval: float = 60.0,
         source_quorum: float = 0.5,
+        obs: "object | None" = None,
     ) -> None:
         if not (0.0 < source_quorum <= 1.0):
             raise DeploymentError(
@@ -232,8 +233,20 @@ class Executor:
             )
         self.netsim = netsim
         self.broker_network = broker_network
+        #: Observability bundle (``repro.obs.Observability``); threads
+        #: through the monitor, every spawned process, the SCN's placement
+        #: events, and the blocking operators' lineage recorders.
+        self.obs = obs
         self.scn = scn or ScnController(netsim.topology)
-        self.monitor = monitor or Monitor(netsim)
+        self.monitor = monitor or Monitor(netsim, obs=obs)
+        if obs is not None:
+            obs.tracer.bind_clock(netsim.clock)
+            if netsim.tracer is None:
+                netsim.tracer = obs.tracer
+            if getattr(self.scn, "tracer", None) is None:
+                self.scn.tracer = obs.tracer
+            if broker_network.obs is None:
+                broker_network.obs = obs
         self.warehouse = warehouse
         self.sticker = sticker
         self.rebalance_interval = rebalance_interval
@@ -360,11 +373,14 @@ class Executor:
                 )
                 continue
             operator = self._build_runtime(service, deployment)
+            if self.obs is not None:
+                operator.lineage = self.obs.lineage
             process = OperatorProcess(
                 process_id=f"{program.name}:{service.name}",
                 operator=operator,
                 node_id=placements[service.name].node_id,
                 netsim=self.netsim,
+                obs=self.obs,
             )
             if operator.is_blocking:
                 process.enable_checkpoints(self.checkpoint_interval)

@@ -85,6 +85,8 @@ class Monitor:
         heartbeat_interval: float = 30.0,
         suspect_after: float = 2.0,
         dead_after: float = 4.0,
+        obs: "object | None" = None,
+        max_series_points: "int | None" = None,
     ) -> None:
         if not (0 < suspect_after < dead_after):
             raise ValueError(
@@ -97,6 +99,32 @@ class Monitor:
         #: Missed-beat thresholds, in heartbeat intervals.
         self.suspect_after = suspect_after
         self.dead_after = dead_after
+        #: Observability bundle; when set, every series this monitor keeps
+        #: is also published through the metrics registry, and
+        #: heartbeat/dead-letter/assignment events become counters.
+        self.obs = obs
+        #: Retention cap applied to every TimeSeries this monitor creates.
+        self.max_series_points = max_series_points
+        self._heartbeat_counters: dict[str, object] = {}
+        self._rate_gauges: dict[str, object] = {}
+        self._util_gauges: dict[str, object] = {}
+        self._dead_letter_counter = None
+        self._assignment_counter = None
+        self._control_counter = None
+        if obs is not None:
+            metrics = obs.metrics
+            self._dead_letter_counter = metrics.counter(
+                "monitor_dead_letters_total",
+                "dead-lettered tuples surfaced to the monitor",
+            )
+            self._assignment_counter = metrics.counter(
+                "monitor_assignment_changes_total",
+                "process re-placements (when the assignment changes)",
+            )
+            self._control_counter = metrics.counter(
+                "monitor_control_commands_total",
+                "trigger commands actuated by the control plane",
+            )
         #: (deployment, process) -> tuples/sec series.
         self.operation_rates: dict[str, TimeSeries] = {}
         #: node -> utilization series.
@@ -168,10 +196,28 @@ class Monitor:
         )
         self.assignment_log.append(change)
         self.log(process_id, "reassigned", f"{from_node} -> {to_node} ({reason})")
+        if self.obs is not None:
+            self._assignment_counter.inc()
+            self.obs.tracer.event(
+                "reassignment", change.time,
+                process=process_id, **{"from": from_node, "to": to_node},
+                reason=reason,
+            )
 
     def heartbeat(self, process_id: str, node_id: str, time: float) -> None:
         """Liveness beat from a watched process (wired by :meth:`watch`)."""
         self._node_last_seen[node_id] = time
+        if self.obs is not None:
+            counter = self._heartbeat_counters.get(node_id)
+            if counter is None:
+                counter = self._heartbeat_counters[node_id] = (
+                    self.obs.metrics.counter(
+                        "monitor_heartbeats_total",
+                        "liveness beats received from watched processes",
+                        node=node_id,
+                    )
+                )
+            counter.inc()
         previous = self.node_health.get(node_id)
         if previous in (NodeHealth.SUSPECT, NodeHealth.DEAD):
             self.log(node_id, "node-alive", f"heartbeat from {process_id}")
@@ -194,9 +240,13 @@ class Monitor:
             "dead-letter",
             f"{source} undeliverable to {node_id}: {reason}",
         )
+        if self.obs is not None:
+            self._dead_letter_counter.inc()
 
     def record_control(self, deployment_name: str, command: ControlCommand) -> None:
         self.control_log.append(command)
+        if self.obs is not None:
+            self._control_counter.inc()
         verb = "activate" if command.activate else "deactivate"
         self.log(
             deployment_name,
@@ -209,19 +259,57 @@ class Monitor:
     def sample(self) -> None:
         """Take one sample of every watched process and every node."""
         now = self.netsim.clock.now
+        obs = self.obs
         for deployment, processes in self._watched.items():
             for process in processes:
                 process.sample_load(now)
                 key = f"{deployment}/{process.process_id}"
-                series = self.operation_rates.setdefault(
-                    key, TimeSeries(name=key)
-                )
+                series = self.operation_rates.get(key)
+                if series is None:
+                    series = self.operation_rates[key] = TimeSeries(
+                        name=key, max_points=self.max_series_points
+                    )
                 series.record(now, process.rate.rate)
+                if obs is not None:
+                    gauge = self._rate_gauges.get(key)
+                    if gauge is None:
+                        gauge = self._rate_gauges[key] = obs.metrics.gauge(
+                            "operation_tuples_per_second",
+                            "tuples each operation handles per second",
+                            process=key,
+                        )
+                    gauge.set(process.rate.rate)
         for node in self.netsim.topology.nodes:
-            series = self.node_utilization.setdefault(
-                node.node_id, TimeSeries(name=node.node_id)
-            )
+            series = self.node_utilization.get(node.node_id)
+            if series is None:
+                series = self.node_utilization[node.node_id] = TimeSeries(
+                    name=node.node_id, max_points=self.max_series_points
+                )
             series.record(now, node.utilization)
+            if obs is not None:
+                gauge = self._util_gauges.get(node.node_id)
+                if gauge is None:
+                    gauge = self._util_gauges[node.node_id] = obs.metrics.gauge(
+                        "node_utilization",
+                        "fraction of a node's capacity in use",
+                        node=node.node_id,
+                    )
+                gauge.set(node.utilization)
+        if obs is not None:
+            stats = self.netsim.stats
+            metrics = obs.metrics
+            metrics.gauge(
+                "network_messages_sent", "messages handed to the simulator"
+            ).set(stats.messages_sent)
+            metrics.gauge(
+                "network_messages_delivered", "messages delivered"
+            ).set(stats.messages_delivered)
+            metrics.gauge(
+                "network_messages_dropped", "messages lost in the network"
+            ).set(stats.messages_dropped)
+            metrics.gauge(
+                "network_link_bytes", "total bytes moved across all links"
+            ).set(self.netsim.total_link_bytes())
 
     # -- failure detection -----------------------------------------------------------
 

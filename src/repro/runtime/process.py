@@ -32,6 +32,7 @@ from typing import Callable
 from repro.errors import DeploymentError
 from repro.network.netsim import NetworkSimulator
 from repro.network.qos import QosPolicy
+from repro.obs.lineage import tuple_key
 from repro.runtime.stats import RateEstimator
 from repro.streams.base import Operator
 from repro.streams.tuple import SensorTuple, estimate_size_bytes
@@ -59,11 +60,22 @@ class OperatorProcess:
         operator: Operator,
         node_id: str,
         netsim: NetworkSimulator,
+        obs: "object | None" = None,
     ) -> None:
         self.process_id = process_id
         self.operator = operator
         self.node_id = node_id
         self.netsim = netsim
+        #: Observability bundle (``repro.obs.Observability``); spans are
+        #: recorded only for tuples already carrying a trace context.
+        self.obs = obs
+        self._tuples_counter = None
+        if obs is not None:
+            self._tuples_counter = obs.metrics.counter(
+                "process_tuples_total",
+                "tuples received by an operator process",
+                process=process_id,
+            )
         self.routes: list[Route] = []
         self.rate = RateEstimator()
         self._timer_cancel: "Callable[[], None] | None" = None
@@ -206,7 +218,22 @@ class OperatorProcess:
         if not node.up:
             return  # a dead node processes nothing
         node.account_work(self.operator.cost_per_tuple)
+        obs = self.obs
         emitted = self.operator.on_tuple(tuple_, port=port)
+        if obs is not None:
+            self._tuples_counter.inc()
+            ctx = tuple_.trace
+            if ctx is not None:
+                span = obs.tracer.span(
+                    ctx, self.operator.span_name, self.netsim.clock.now,
+                    node=self.node_id,
+                    operator=self.operator.name,
+                    process=self.process_id,
+                    tuple=tuple_key(tuple_),
+                )
+                if emitted:
+                    child = ctx.child_of(span)
+                    emitted = [out.with_trace(child) for out in emitted]
         for out in emitted:
             self._forward(out)
 
@@ -214,9 +241,24 @@ class OperatorProcess:
         node = self.netsim.topology.node(self.node_id)
         if not node.up:
             return
-        emitted = self.operator.on_timer(self.netsim.clock.now)
+        now = self.netsim.clock.now
+        emitted = self.operator.on_timer(now)
         if emitted:
             node.account_work(self.operator.cost_per_tuple * len(emitted))
+            obs = self.obs
+            if obs is not None and obs.tracer.enabled:
+                # A blocking flush starts a fresh trace: the emitted
+                # aggregate is a *new* tuple whose ancestry is recorded in
+                # the lineage store, not in any single input's trace.
+                ctx = obs.tracer.start_trace(
+                    "flush", now,
+                    node=self.node_id,
+                    operator=self.operator.name,
+                    process=self.process_id,
+                    emitted=len(emitted),
+                )
+                if ctx is not None:
+                    emitted = [out.with_trace(ctx) for out in emitted]
         for out in emitted:
             self._forward(out)
 

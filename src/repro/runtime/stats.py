@@ -2,15 +2,29 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 
 @dataclass
 class TimeSeries:
-    """An append-only (time, value) series with simple reductions."""
+    """An append-only (time, value) series with simple reductions.
+
+    ``max_points`` optionally caps retention: once exceeded, the oldest
+    points are discarded (in chunks, to amortize the list shift), so a
+    monitor sampling for days of virtual time holds bounded memory.
+    """
 
     name: str
     points: list[tuple[float, float]] = field(default_factory=list)
+    max_points: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_points is not None and self.max_points <= 0:
+            raise ValueError(
+                f"series {self.name!r}: max_points must be positive, "
+                f"got {self.max_points}"
+            )
 
     def record(self, time: float, value: float) -> None:
         """Append a point.  Monitors sample monotonically, so a strictly
@@ -23,6 +37,8 @@ class TimeSeries:
                 f"{self.points[-1][0]}"
             )
         self.points.append((time, value))
+        if self.max_points is not None and len(self.points) > self.max_points:
+            del self.points[: len(self.points) - self.max_points]
 
     @property
     def last(self) -> "float | None":
@@ -45,7 +61,15 @@ class TimeSeries:
         return max(value for _, value in self.points)
 
     def since(self, time: float) -> list[tuple[float, float]]:
-        return [(t, v) for t, v in self.points if t >= time]
+        """Points at or after ``time``.
+
+        Points are appended in non-decreasing time order (``record``
+        enforces it), so the cut-off is found by bisection instead of a
+        linear scan — ``since`` is on the monitor's dashboard path and
+        series grow with run length.
+        """
+        index = bisect.bisect_left(self.points, time, key=lambda p: p[0])
+        return self.points[index:]
 
     def __len__(self) -> int:
         return len(self.points)

@@ -15,6 +15,7 @@ from repro.dataflow.ops import FilterSpec, TriggerOnSpec
 from repro.dsn.scn import ScnController
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
+from repro.obs import Observability
 from repro.pubsub.broker import BrokerNetwork
 from repro.pubsub.subscription import SubscriptionFilter
 from repro.runtime.executor import Executor
@@ -35,6 +36,7 @@ class Stack:
     warehouse: EventWarehouse
     sticker: StickerFeed
     fleet: list[SimulatedSensor]
+    obs: "Observability | None" = None
 
     @property
     def clock(self):
@@ -59,6 +61,7 @@ def build_stack(
     attach_fleet: bool = True,
     rebalance_interval: float = 300.0,
     replicas: int = 1,
+    observability: "Observability | bool | float | None" = None,
 ) -> Stack:
     """Assemble a full StreamLoader stack with the Osaka fleet.
 
@@ -70,7 +73,17 @@ def build_stack(
         scn: custom controller (e.g. the centralized baseline).
         attach_fleet: set False to publish/attach sensors yourself.
         rebalance_interval: SCN coordination cadence in seconds.
+        observability: ``True`` for a default bundle (sampling 1.0), a
+            float for a bundle with that trace sampling rate, an
+            :class:`~repro.obs.Observability` to bring your own, or
+            None/False to run without metrics/tracing/lineage.
     """
+    if observability is True:
+        obs: "Observability | None" = Observability()
+    elif isinstance(observability, (int, float)) and observability is not False:
+        obs = Observability(sampling=float(observability))
+    else:
+        obs = observability or None
     topology = topology if topology is not None else Topology.star(leaf_count=4)
     netsim = NetworkSimulator(topology=topology)
     broker_network = BrokerNetwork(netsim=netsim)
@@ -83,6 +96,7 @@ def build_stack(
         warehouse=warehouse,
         sticker=sticker,
         rebalance_interval=rebalance_interval,
+        obs=obs,
     )
     fleet = osaka_fleet(topology, hot=hot, extended=extended, seed=seed,
                         replicas=replicas)
@@ -97,6 +111,7 @@ def build_stack(
         warehouse=warehouse,
         sticker=sticker,
         fleet=fleet,
+        obs=obs,
     )
 
 

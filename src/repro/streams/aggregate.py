@@ -357,12 +357,15 @@ class AggregationOperator(BlockingOperator):
             spatial_granularity=first.stamp.spatial_granularity,
             themes=first.stamp.themes,
         )
-        return SensorTuple(
+        out = SensorTuple(
             payload=payload,
             stamp=stamp,
             source=f"{self.name}({first.source})",
             seq=self.stats.timer_firings * 1000 + seq_offset,
         )
+        if self.lineage is not None:
+            self.lineage.record(out, list(members), self.name, now)
+        return out
 
     def _aggregate_group(
         self, key: object, window: list[SensorTuple], now: float, seq_offset: int
@@ -400,12 +403,15 @@ class AggregationOperator(BlockingOperator):
             spatial_granularity=first.stamp.spatial_granularity,
             themes=first.stamp.themes,
         )
-        return SensorTuple(
+        out = SensorTuple(
             payload=payload,
             stamp=stamp,
             source=f"{self.name}({first.source})",
             seq=self.stats.timer_firings * 1000 + seq_offset,
         )
+        if self.lineage is not None:
+            self.lineage.record(out, window, self.name, now)
+        return out
 
     def reset(self) -> None:
         super().reset()

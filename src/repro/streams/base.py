@@ -72,12 +72,20 @@ class Operator:
     interval: "float | None" = None
     #: Relative CPU cost of processing one tuple (placement/load model).
     cost_per_tuple: float = 1.0
+    #: Span name recorded when a traced tuple enters this operator
+    #: ("evaluate" for per-tuple operators, "enqueue" for blocking ones
+    #: that buffer, "sink" for terminal consumers).
+    span_name: str = "evaluate"
 
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
         self.stats = OperatorStats()
         #: Trigger control-plane sink; the runtime injects its own.
         self.control: Callable[[ControlCommand], None] = lambda command: None
+        #: Lineage recorder (``repro.obs.lineage.LineageStore``); injected
+        #: by the executor when observability is enabled.  Blocking
+        #: operators record input->output derivations through it.
+        self.lineage: "object | None" = None
 
     @property
     def is_blocking(self) -> bool:
@@ -164,6 +172,8 @@ class NonBlockingOperator(Operator):
 
 class BlockingOperator(Operator):
     """Caches tuples and processes them every ``interval`` seconds."""
+
+    span_name = "enqueue"
 
     def __init__(self, interval: float, name: str = "") -> None:
         super().__init__(name)

@@ -261,12 +261,15 @@ class JoinOperator(BlockingOperator):
             ),
             themes=themes,
         )
-        return SensorTuple(
+        out = SensorTuple(
             payload=payload,
             stamp=stamp,
             source=f"{self.name}({lt.source}⋈{rt.source})",
             seq=seq,
         )
+        if self.lineage is not None:
+            self.lineage.record(out, (lt, rt), self.name, now)
+        return out
 
     def reset(self) -> None:
         super().reset()

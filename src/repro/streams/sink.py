@@ -16,6 +16,7 @@ class ListSink(NonBlockingOperator):
     """Collect every received tuple into ``received`` (tests, samples)."""
 
     cost_per_tuple = 0.2
+    span_name = "sink"
 
     def __init__(self, name: str = "") -> None:
         super().__init__(name or "list-sink")
@@ -34,6 +35,7 @@ class CallbackSink(NonBlockingOperator):
     """Hand every tuple to a callback (warehouse loader, Sticker feed)."""
 
     cost_per_tuple = 0.5
+    span_name = "sink"
 
     def __init__(
         self, callback: Callable[[SensorTuple], None], name: str = ""
@@ -50,6 +52,7 @@ class CountingSink(NonBlockingOperator):
     """Count tuples without retaining them (throughput benchmarks)."""
 
     cost_per_tuple = 0.1
+    span_name = "sink"
 
     def __init__(self, name: str = "") -> None:
         super().__init__(name or "counting-sink")

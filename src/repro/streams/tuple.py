@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping
 from types import MappingProxyType
-from typing import Mapping
 
 from repro.stt.event import Event, SttStamp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import TraceContext
 
 
 @dataclass(frozen=True)
@@ -18,12 +21,17 @@ class SensorTuple:
         stamp: STT stamp (time, location, granularities, themes).
         source: id of the producing sensor (or derived-stream label).
         seq: per-source sequence number, for deterministic ordering.
+        trace: observability context (trace id + last span), attached by
+            the broker when the tuple's trace is sampled; ``None`` means
+            untraced.  Excluded from equality — two readings are the same
+            reading whether or not one was sampled.
     """
 
     payload: Mapping[str, object]
     stamp: SttStamp
     source: str = ""
     seq: int = 0
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.payload, MappingProxyType):
@@ -56,6 +64,9 @@ class SensorTuple:
 
     def with_stamp(self, stamp: SttStamp) -> "SensorTuple":
         return replace(self, stamp=stamp)
+
+    def with_trace(self, trace: "TraceContext | None") -> "SensorTuple":
+        return replace(self, trace=trace)
 
     def relabelled(self, source: str) -> "SensorTuple":
         return replace(self, source=source)

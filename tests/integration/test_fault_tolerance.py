@@ -128,6 +128,62 @@ class TestFaultMatrix:
         assert len(deployment.collected("out")) > 0
 
 
+@pytest.mark.parametrize("blocking", [False, True], ids=BLOCKING_IDS)
+class TestDeadLetterAudit:
+    """Every retry exhaustion is audited exactly once, everywhere.
+
+    An outage long enough to exhaust the retry budget (0.5+1+2 s) but
+    shorter than the failure detector's patience produces dead letters;
+    the broker counter, the subscriptions' queues, the monitor's audit
+    log, and the metrics registry must all agree — one record per
+    exhausted tuple, no duplicates, nothing silent.
+    """
+
+    def test_exhaustions_produce_exactly_one_record_each(self, blocking):
+        stack = build_stack(hot=True, seed=11, observability=0.0)
+        deployment = stack.executor.deploy(simple_flow(blocking))
+        stack.run_until(930.0)
+        victim = deployment.process("work").node_id
+        # 70s outage: sensors emit at t=960 and their retries (0.5+1+2 s)
+        # exhaust while the node is still down, but heartbeats resume
+        # before the failure detector's re-placement verdict.
+        stack.netsim.kill_node(victim)
+        stack.clock.schedule(70.0, lambda: stack.netsim.revive_node(victim))
+        stack.run_until(1800.0)
+
+        net = stack.broker_network
+        monitor = stack.executor.monitor
+        assert net.data_messages_dead_lettered >= 1
+
+        # Broker counter == monitor audit log == per-subscription queues.
+        assert len(monitor.dead_letter_log) == net.data_messages_dead_lettered
+        subscriptions = [
+            subscription
+            for binding in deployment.bindings.values()
+            for subscription in binding.subscriptions
+        ]
+        queued = sum(len(s.dead_letters) for s in subscriptions)
+        assert queued == net.data_messages_dead_lettered
+
+        # No duplicates: each (subscription, tuple) pair at most once.
+        letters = [
+            (s.subscription_id, letter.tuple.source, letter.tuple.seq)
+            for s in subscriptions
+            for letter in s.dead_letters
+        ]
+        assert len(letters) == len(set(letters))
+
+        # Every audit record names the victim and a real subscription.
+        known = {s.subscription_id for s in subscriptions}
+        for record in monitor.dead_letter_log:
+            assert record.subscription_id in known
+            assert record.node_id == victim
+
+        # The metrics pipeline carries the same count.
+        counter = stack.obs.metrics.counter("broker_dead_letters_total")
+        assert counter.value == net.data_messages_dead_lettered
+
+
 class TestOsakaKillRecovery:
     """Acceptance: kill/revive a node mid-run of the paper's scenario."""
 

@@ -1,0 +1,124 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.errors import StreamLoaderError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(StreamLoaderError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_bucket_counts(self):
+        h = Histogram(boundaries=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.7, 3.0, 7.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 3, 4]  # <=1, <=5, <=10
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.2)
+        assert h.mean == pytest.approx(111.2 / 5)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram(boundaries=(1.0, 5.0))
+        h.observe(1.0)
+        assert h.counts == [1, 1]  # le semantics: 1.0 <= 1.0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram(boundaries=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.5, 0.5, 7.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_quantile_above_last_boundary_is_inf(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(1.0) == float("inf")
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(StreamLoaderError):
+            Histogram(boundaries=(5.0, 1.0))
+        with pytest.raises(StreamLoaderError):
+            Histogram(boundaries=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("tuples_total", node="n0")
+        b = reg.counter("tuples_total", node="n0")
+        assert a is b
+        other = reg.counter("tuples_total", node="n1")
+        assert other is not a
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("util", node="n0", op="f")
+        b = reg.gauge("util", op="f", node="n0")
+        assert a is b
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(StreamLoaderError):
+            reg.gauge("x")
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("tuples_total", "tuples seen", node="n0").inc(3)
+        reg.gauge("util").set(0.5)
+        text = reg.expose()
+        assert "# HELP tuples_total tuples seen" in text
+        assert "# TYPE tuples_total counter" in text
+        assert 'tuples_total{node="n0"} 3' in text
+        assert "util 0.5" in text
+
+    def test_exposition_histogram_le_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 5.0), node="n0")
+        h.observe(0.5)
+        h.observe(90.0)
+        text = reg.expose()
+        assert 'lat_bucket{le="1",node="n0"} 1' in text
+        assert 'lat_bucket{le="5",node="n0"} 1' in text
+        assert 'lat_bucket{le="+Inf",node="n0"} 2' in text
+        assert 'lat_sum{node="n0"} 90.5' in text
+        assert 'lat_count{node="n0"} 2' in text
+
+    def test_snapshot_roundtrips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c", node="n0").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(reg.to_json())
+        assert snap["c"]["type"] == "counter"
+        assert snap["c"]["series"][0] == {
+            "labels": {"node": "n0"}, "value": 1.0,
+        }
+        assert snap["h"]["series"][0]["count"] == 1

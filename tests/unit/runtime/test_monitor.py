@@ -163,6 +163,26 @@ class TestFailureDetection:
         assert detector.node_health["node-0"] is NodeHealth.ALIVE
         assert any(r.event == "node-alive" for r in detector.logs)
 
+    def test_suspect_recovers_to_alive_without_death_verdict(self, sim, detector):
+        """Regression: heartbeats resuming between ``suspect_after`` and
+        ``dead_after`` must clear the SUSPECT verdict back to ALIVE and
+        never invoke ``on_node_dead``."""
+        watch_started(sim, detector)
+        deaths = []
+        detector.on_node_dead.append(deaths.append)
+        sim.clock.run_until(35.0)
+        sim.kill_node("node-0")  # last heartbeat at t=30
+        sim.clock.run_until(55.0)  # > suspect_after (20s), < dead_after (40s)
+        assert detector.node_health["node-0"] is NodeHealth.SUSPECT
+        sim.revive_node("node-0")  # heartbeats resume at t=60
+        sim.clock.run_until(100.0)
+        assert detector.node_health["node-0"] is NodeHealth.ALIVE
+        assert deaths == []
+        assert not any(r.event == "node-dead" for r in detector.logs)
+        events = [r.event for r in detector.logs
+                  if r.event in ("node-suspect", "node-alive")]
+        assert events == ["node-suspect", "node-alive"]
+
     def test_unwatched_nodes_not_judged(self, sim, detector):
         watch_started(sim, detector, node="node-0")
         sim.kill_node("node-1")  # hosts nothing we watch

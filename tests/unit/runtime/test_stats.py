@@ -63,6 +63,44 @@ class TestTimeSeries:
         assert series.values() == [10.0, 20.0]
         assert series.times() == [1.0, 2.0]
 
+    def test_since_bisects_matching_linear_scan(self):
+        series = TimeSeries("x")
+        for t in range(100):
+            series.record(float(t), float(t))
+        for cutoff in (-1.0, 0.0, 49.5, 50.0, 99.0, 120.0):
+            linear = [p for p in series.points if p[0] >= cutoff]
+            assert series.since(cutoff) == linear
+
+    def test_since_with_duplicate_timestamps_returns_all(self):
+        series = TimeSeries("x")
+        series.record(1.0, 1.0)
+        series.record(2.0, 2.0)
+        series.record(2.0, 3.0)
+        series.record(3.0, 4.0)
+        assert series.since(2.0) == [(2.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+
+    def test_max_points_caps_retention(self):
+        series = TimeSeries("x", max_points=3)
+        for t in range(10):
+            series.record(float(t), float(t) * 2)
+        assert len(series) == 3
+        assert series.points == [(7.0, 14.0), (8.0, 16.0), (9.0, 18.0)]
+        assert series.last == 18.0
+        # since() still works on the trimmed window.
+        assert series.since(8.0) == [(8.0, 16.0), (9.0, 18.0)]
+
+    def test_max_points_unset_is_unbounded(self):
+        series = TimeSeries("x")
+        for t in range(1000):
+            series.record(float(t), 0.0)
+        assert len(series) == 1000
+
+    def test_max_points_validated(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", max_points=0)
+        with pytest.raises(ValueError):
+            TimeSeries("x", max_points=-5)
+
 
 class TestRateEstimator:
     def test_first_observation_is_zero(self):
