@@ -1,0 +1,336 @@
+"""Micro-batch data-plane benchmark (writes ``BENCH_4.json``).
+
+Measures the three framing-dominated hot paths at batch sizes 1, 8, and
+32.  All rates are **tuples/second** regardless of batch size, so the
+numbers answer the only question that matters: how many readings does the
+same wall-clock budget move?
+
+- ``publish_fanout``  — broker fan-out to 20 subscriptions.  batch=1 is
+  the exact ``run_obs`` / ``run_hotpath`` workload (``publish_data`` per
+  reading); batch=N publishes the same readings through
+  ``publish_batch`` in runs of N;
+- ``send_deliver``    — full simulator cycle on the static line-8
+  topology: ``send`` per payload vs ``send_batch`` per run of N;
+- ``process_receive`` — operator-process dispatch of a filter, fed
+  directly: ``receive`` per tuple vs ``receive_batch`` per run of N.
+
+Against ``BENCH_3.json`` (the ``none`` configuration of the shared
+workloads) the report states the batch=1 regression — the acceptance
+bound is under 5%, i.e. the batch path must cost nothing when unused —
+and the batch=32 speedups (acceptance: >= 3x on publish_fanout, >= 2x on
+send_deliver).
+
+Usage::
+
+    python -m benchmarks.run_batch --json              # full run
+    python -m benchmarks.run_batch --json --smoke      # CI crash check
+    python -m benchmarks.run_batch --json --enforce    # fail on regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.registry import SensorMetadata
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.runtime.process import OperatorProcess
+from repro.schema.schema import StreamSchema
+from repro.streams.filter import FilterOperator
+from repro.streams.tuple import SensorTuple, TupleBatch, estimate_batch_size_bytes
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+#: Batch sizes every path is measured at (1 = the legacy per-tuple path).
+BATCH_SIZES = (1, 8, 32)
+
+#: batch=32 speedup acceptance floors per workload (vs batch=1).
+SPEEDUP_FLOORS = {"publish_fanout": 3.0, "send_deliver": 2.0}
+
+#: batch=1 may regress at most this much against BENCH_3's ``none`` runs.
+REGRESSION_BOUND_PCT = 5.0
+
+
+def _best_rate(fn, iterations: int, repeat: int = 3) -> float:
+    """Best-of-N ops/sec for ``fn(iterations)`` (iterations = tuples)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(iterations)
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+def _make_tuple(i: int) -> SensorTuple:
+    return SensorTuple(
+        payload={"station": "umeda", "temperature": 25.0 + (i % 7)},
+        stamp=SttStamp(time=float(i), location=Point(34.69, 135.50)),
+        source="bench",
+        seq=i,
+    )
+
+
+def _line_topology() -> Topology:
+    topo = Topology()
+    for i in range(8):
+        topo.add_node(f"n{i}")
+    for i in range(7):
+        topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
+    return topo
+
+
+# -- measurements -----------------------------------------------------------
+
+
+def bench_publish_fanout(iterations: int, subscribers: int = 20) -> dict:
+    """Broker fan-out, per batch size (tuples/sec)."""
+
+    def fanout(n, batch_size=1):
+        sim = NetworkSimulator(topology=_line_topology())
+        network = BrokerNetwork(netsim=sim)
+        for i in range(subscribers):
+            network.subscribe(
+                f"n{i % 8}",
+                SubscriptionFilter(),
+                lambda tuple_: None,
+            )
+        network.publish(SensorMetadata(
+            sensor_id="bench-sensor",
+            sensor_type="weather",
+            schema=StreamSchema.build(
+                {"temperature": "float"}, themes=("weather/temperature",)
+            ),
+            frequency=1.0,
+            location=Point(34.69, 135.50),
+            node_id="n0",
+        ))
+        reading = _make_tuple(0)
+        run = sim.clock.run
+        if batch_size == 1:
+            # The exact BENCH_3 workload: one publish_data per reading.
+            publish_data = network.publish_data
+            per_cycle = 50
+            done = 0
+            while done < n:
+                for _ in range(per_cycle):
+                    publish_data("bench-sensor", reading)
+                run()
+                done += per_cycle
+            return
+        batch = TupleBatch.of([reading] * batch_size)
+        publish_batch = network.publish_batch
+        per_cycle = max(1, 50 // batch_size)
+        done = 0
+        while done < n:
+            for _ in range(per_cycle):
+                publish_batch("bench-sensor", batch)
+            run()
+            done += per_cycle * batch_size
+
+    return {
+        "subscribers": subscribers,
+        **{
+            f"batch{size}": round(
+                _best_rate(lambda n, s=size: fanout(n, s), iterations)
+            )
+            for size in BATCH_SIZES
+        },
+    }
+
+
+def bench_send_deliver(iterations: int) -> dict:
+    """Full simulator cycle, per batch size (tuples/sec)."""
+
+    def cycle(n, batch_size=1):
+        sim = NetworkSimulator(topology=_line_topology())
+        sink = lambda payload: None
+        run = sim.clock.run
+        if batch_size == 1:
+            send = sim.send
+            per_cycle = 500
+            done = 0
+            while done < n:
+                for _ in range(per_cycle):
+                    send("n0", "n7", 1, 100.0, sink)
+                run()
+                done += per_cycle
+            return
+        batch = TupleBatch.of([_make_tuple(i) for i in range(batch_size)])
+        size_bytes = estimate_batch_size_bytes(batch)
+        send_batch = sim.send_batch
+        per_cycle = max(1, 500 // batch_size)
+        done = 0
+        while done < n:
+            for _ in range(per_cycle):
+                send_batch("n0", "n7", batch, size_bytes, sink)
+            run()
+            done += per_cycle * batch_size
+
+    return {
+        f"batch{size}": round(
+            _best_rate(lambda n, s=size: cycle(n, s), iterations)
+        )
+        for size in BATCH_SIZES
+    }
+
+
+def bench_process_receive(iterations: int) -> dict:
+    """Operator-process dispatch, per batch size (tuples/sec)."""
+
+    def feed(n, batch_size=1):
+        sim = NetworkSimulator(topology=_line_topology())
+        process = OperatorProcess(
+            process_id="bench:filter",
+            operator=FilterOperator("temperature > 24"),
+            node_id="n0",
+            netsim=sim,
+        )
+        process.start()
+        tuple_ = _make_tuple(0)
+        if batch_size == 1:
+            receive = process.receive
+            for _ in range(n):
+                receive(tuple_)
+            return
+        batch = TupleBatch.of([tuple_] * batch_size)
+        receive_batch = process.receive_batch
+        for _ in range(max(1, n // batch_size)):
+            receive_batch(batch)
+
+    return {
+        f"batch{size}": round(
+            _best_rate(lambda n, s=size: feed(n, s), iterations)
+        )
+        for size in BATCH_SIZES
+    }
+
+
+# -- runner -----------------------------------------------------------------
+
+
+def _speedups(rates: dict) -> dict:
+    base = rates.get("batch1", 0)
+    out = {}
+    for size in BATCH_SIZES[1:]:
+        rate = rates.get(f"batch{size}")
+        if base and rate:
+            out[f"batch{size}_speedup"] = round(rate / base, 2)
+    return out
+
+
+def _vs_bench3(rates: dict, bench3: "dict | None", path: str) -> dict:
+    """Regression of the batch=1 rate vs BENCH_3's ``none`` number."""
+    if not bench3:
+        return {}
+    recorded = bench3.get("results", {}).get(path, {}).get("none")
+    if not recorded or not rates.get("batch1"):
+        return {}
+    return {
+        "bench3_none_ops_per_sec": recorded,
+        "batch1_vs_bench3_pct": round(
+            (recorded - rates["batch1"]) / recorded * 100.0, 1
+        ),
+    }
+
+
+def run(smoke: bool = False, bench3: "dict | None" = None) -> dict:
+    scale = 20 if smoke else 1
+    fanout_iters = 2_000 // scale
+    send_iters = 50_000 // scale
+    receive_iters = 100_000 // scale
+
+    results = {}
+    for path, rates in (
+        ("publish_fanout", bench_publish_fanout(fanout_iters)),
+        ("send_deliver", bench_send_deliver(send_iters)),
+        ("process_receive", bench_process_receive(receive_iters)),
+    ):
+        rates.update(_speedups(rates))
+        rates.update(_vs_bench3(rates, bench3, path))
+        results[path] = rates
+
+    return {
+        "bench": "micro-batch",
+        "issue": 4,
+        "smoke": smoke,
+        "topology": "line-8 (static)",
+        "unit": "tuples/sec at every batch size",
+        "batch_sizes": list(BATCH_SIZES),
+        "notes": {
+            "publish_fanout": "broker fan-out to 20 subscriptions; "
+                              "batch=1 is the exact BENCH_3 workload",
+            "send_deliver": "full simulator cycle (route, account, "
+                            "schedule, deliver) n0 -> n7",
+            "process_receive": "operator process dispatch of a filter, "
+                               "fed directly (no network hop)",
+            "acceptance": "batch32 >= 3x on publish_fanout and >= 2x on "
+                          "send_deliver; batch=1 within 5% of BENCH_3",
+        },
+        "results": results,
+    }
+
+
+def check(report: dict) -> "list[str]":
+    """Acceptance violations in a **full** (non-smoke) report."""
+    problems = []
+    results = report["results"]
+    for path, floor in SPEEDUP_FLOORS.items():
+        speedup = results.get(path, {}).get("batch32_speedup")
+        if speedup is not None and speedup < floor:
+            problems.append(
+                f"{path}: batch32 speedup {speedup}x is below the "
+                f"{floor}x floor"
+            )
+    for path, rates in results.items():
+        regression = rates.get("batch1_vs_bench3_pct")
+        if regression is not None and regression > REGRESSION_BOUND_PCT:
+            problems.append(
+                f"{path}: batch=1 regressed {regression}% vs BENCH_3 "
+                f"(bound {REGRESSION_BOUND_PCT}%)"
+            )
+    return problems
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_4.json next to the repo root")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny iteration counts (CI crash check)")
+    parser.add_argument("--enforce", action="store_true",
+                        help="exit 1 when acceptance bounds are violated "
+                             "(meaningful only without --smoke)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: <repo>/BENCH_4.json)")
+    args = parser.parse_args()
+
+    root = Path(__file__).resolve().parent.parent
+    bench3 = None
+    bench3_path = root / "BENCH_3.json"
+    if bench3_path.exists():
+        bench3 = json.loads(bench3_path.read_text())
+
+    report = run(smoke=args.smoke, bench3=bench3)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json:
+        out = args.out or root / "BENCH_4.json"
+        out.write_text(text + "\n")
+        print(f"\nwrote {out}")
+    if args.enforce and not args.smoke:
+        problems = check(report)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            sys.exit(1)
+        print("acceptance bounds hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,20 @@ from repro.errors import StreamLoaderError
 from repro.scenario import build_stack, osaka_scenario_flow
 
 
+def _batching_from(args: argparse.Namespace):
+    """--batch/--max-delay -> a BatchingPolicy (or None for batch=1)."""
+    batch = getattr(args, "batch", 1)
+    if batch <= 1:
+        return None
+    from repro.sensors.base import BatchingPolicy
+
+    return BatchingPolicy(max_batch=batch,
+                          max_delay=getattr(args, "max_delay", 1.0))
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     stack = build_stack(hot=not args.cool, extended=args.extended,
-                        seed=args.seed)
+                        seed=args.seed, batching=_batching_from(args))
     flow = osaka_scenario_flow(stack)
     deployment = stack.executor.deploy(flow)
     stack.run_until(args.hours * 3600.0)
@@ -64,6 +75,7 @@ def _run_observed(args: argparse.Namespace):
         extended=getattr(args, "extended", False),
         seed=getattr(args, "seed", 7),
         observability=args.sampling,
+        batching=_batching_from(args),
     )
     name = getattr(args, "dataflow", "osaka")
     if name == "osaka":
@@ -186,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--extended", action="store_true",
                           help="attach the full sensor roster")
     scenario.add_argument("--seed", type=int, default=7)
+    scenario.add_argument("--batch", type=int, default=1, metavar="N",
+                          help="micro-batch up to N tuples per source "
+                               "message (default 1: no batching)")
+    scenario.add_argument("--max-delay", type=float, default=1.0, metavar="S",
+                          help="flush a partial batch after S virtual "
+                               "seconds (default 1.0)")
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -226,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--cool", action="store_true")
     trace.add_argument("--extended", action="store_true")
     trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--batch", type=int, default=1, metavar="N",
+                       help="micro-batch up to N tuples per source message")
+    trace.add_argument("--max-delay", type=float, default=1.0, metavar="S",
+                       help="flush a partial batch after S virtual seconds")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -244,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--cool", action="store_true")
     metrics.add_argument("--extended", action="store_true")
     metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--batch", type=int, default=1, metavar="N",
+                         help="micro-batch up to N tuples per source message")
+    metrics.add_argument("--max-delay", type=float, default=1.0, metavar="S",
+                         help="flush a partial batch after S virtual seconds")
     metrics.set_defaults(func=_cmd_metrics)
     return parser
 

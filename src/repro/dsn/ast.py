@@ -81,14 +81,26 @@ class DsnService:
 
 @dataclass(frozen=True)
 class DsnChannel:
-    """A data channel between two services (into an input port)."""
+    """A data channel between two services (into an input port).
+
+    ``batch`` is the micro-batch hint: how many tuples the channel's
+    source should coalesce per message (1 = no batching).  The translator
+    derives it from declared sensor frequencies; the executor applies it
+    to the deployed sources.
+    """
 
     source: str
     target: str
     port: int = 0
+    batch: int = 1
 
     def render(self) -> str:
-        return f'  channel "{self.source}" -> "{self.target}" port {self.port};'
+        line = f'  channel "{self.source}" -> "{self.target}" port {self.port}'
+        if self.batch != 1:
+            # Only rendered when set, so batch-free programs (and their
+            # golden files) keep the historical textual form.
+            line += f" batch {self.batch}"
+        return line + ";"
 
 
 @dataclass(frozen=True)

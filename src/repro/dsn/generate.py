@@ -19,14 +19,25 @@ def dataflow_to_dsn(
     flow: Dataflow,
     registry: "SensorRegistry | None" = None,
     validate: bool = True,
+    batch_delay: "float | None" = None,
+    max_batch: int = 32,
 ) -> DsnProgram:
     """Translate a (consistent) dataflow into its DSN program.
 
     Args:
         flow: the conceptual dataflow.
-        registry: resolves source filters during validation.
+        registry: resolves source filters during validation (and, with
+            ``batch_delay``, supplies the declared sensor frequencies the
+            batch hints are derived from).
         validate: skip validation only for flows validated immediately
             before (the designer's deploy path validates once).
+        batch_delay: target per-batch latency budget in seconds.  When
+            set, each channel out of a source gets a ``batch`` hint of
+            roughly ``frequency x batch_delay`` tuples (the batch a source
+            fills within the budget at its advertised rate), clamped to
+            [1, ``max_batch``].  ``None`` (the default) emits no hints, so
+            existing programs render unchanged.
+        max_batch: upper clamp for derived batch hints.
     """
     if validate:
         validate_dataflow(flow, registry).raise_if_invalid()
@@ -67,9 +78,25 @@ def dataflow_to_dsn(
             )
         )
 
+    batch_hints: dict[str, int] = {}
+    if batch_delay is not None and registry is not None:
+        for source in flow.sources.values():
+            rate = sum(
+                metadata.frequency
+                for metadata in registry.all()
+                if source.filter.matches(metadata)
+            )
+            hint = int(round(rate * batch_delay))
+            batch_hints[source.node_id] = max(1, min(max_batch, hint))
+
     for edge in flow.data_edges:
         program.channels.append(
-            DsnChannel(source=edge.source_id, target=edge.target_id, port=edge.port)
+            DsnChannel(
+                source=edge.source_id,
+                target=edge.target_id,
+                port=edge.port,
+                batch=batch_hints.get(edge.source_id, 1),
+            )
         )
     for edge in flow.control_edges:
         program.controls.append(

@@ -27,7 +27,8 @@ _QOS_RE = re.compile(
     r"(?:\s+priority\s+(-?\d+))?(?:\s+max_latency\s+([0-9.eE+-]+))?;$"
 )
 _CHANNEL_RE = re.compile(
-    r'^channel\s+"((?:[^"\\]|\\.)*)"\s*->\s*"((?:[^"\\]|\\.)*)"\s+port\s+(\d+);$'
+    r'^channel\s+"((?:[^"\\]|\\.)*)"\s*->\s*"((?:[^"\\]|\\.)*)"\s+port\s+(\d+)'
+    r"(?:\s+batch\s+(\d+))?;$"
 )
 _CONTROL_RE = re.compile(
     r'^control\s+"((?:[^"\\]|\\.)*)"\s*->\s*"((?:[^"\\]|\\.)*)";$'
@@ -121,6 +122,7 @@ def parse_dsn(text: str) -> DsnProgram:
                     source=_unescape(match.group(1)),
                     target=_unescape(match.group(2)),
                     port=int(match.group(3)),
+                    batch=int(match.group(4) or 1),
                 )
             )
             continue

@@ -27,6 +27,10 @@ class Message:
     payload: object
     size_bytes: float
     sent_at: float
+    #: Payload units carried: 1 for a single tuple, batch length for a
+    #: :class:`~repro.streams.tuple.TupleBatch`.  Keeps tuple-level traffic
+    #: accounting honest when batching is on.
+    units: int = 1
 
 
 @dataclass
@@ -34,6 +38,10 @@ class _TrafficStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    #: Payload units (tuples), distinct from network messages — a batched
+    #: message counts once in messages_* but ``len(batch)`` times here.
+    tuples_sent: int = 0
+    tuples_delivered: int = 0
     bytes_sent: float = 0.0
     total_delay: float = 0.0
 
@@ -103,6 +111,7 @@ class NetworkSimulator:
         ctx = getattr(payload, "trace", None) if tracer is not None else None
         stats = self.stats
         stats.messages_sent += 1
+        stats.tuples_sent += 1
         stats.bytes_sent += size_bytes
 
         if source == target:
@@ -162,6 +171,115 @@ class NetworkSimulator:
         )
         return message
 
+    def send_batch(
+        self,
+        source: str,
+        target: str,
+        batch: object,
+        size_bytes: float,
+        on_delivery: Callable[[object], None],
+        qos: "QosPolicy | None" = None,
+        on_drop: "Callable[[Message, str], None] | None" = None,
+    ) -> "Message | None":
+        """Route a whole micro-batch as one network message.
+
+        The batch is routed once, links are charged its aggregate payload
+        in a single pass, and one delivery event is scheduled per message —
+        the per-message framing cost is amortized over ``len(batch)``
+        tuples.  Loss semantics are all-or-nothing: a dropped batch fires
+        ``on_drop`` once with a ``units=len(batch)`` message, so retry
+        logic (the broker) can redeliver the whole run.
+
+        ``batch`` is a :class:`~repro.streams.tuple.TupleBatch`;
+        ``size_bytes`` its aggregate wire size (callers precompute it via
+        ``estimate_batch_size_bytes`` so the simulator stays stream-agnostic).
+        """
+        policy = qos or self.default_qos
+        now = self.clock.now
+        units = len(batch)  # type: ignore[arg-type]
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.tuples_sent += units
+        stats.bytes_sent += size_bytes
+
+        if source == target:
+            batch = self._trace_batch_transmit(batch, source, target, now, now)
+            message = Message(source, target, batch, size_bytes, now, units)
+            self.clock.schedule(
+                0.0, lambda: self._deliver(message, on_delivery, on_drop)
+            )
+            return message
+
+        try:
+            info = self.topology.route_info(source, target)
+        except UnreachableError as exc:
+            self._drop(
+                Message(source, target, batch, size_bytes, now, units),
+                str(exc), on_drop,
+            )
+            return None
+
+        segments = policy.segments(size_bytes)
+        per_segment = size_bytes / segments
+        charge = size_bytes if size_bytes > 0.0 else 0.0
+        delay = 0.0
+        for latency, bandwidth, counters in info.hops:
+            delay += latency + segments * (per_segment / bandwidth)
+            counters["bytes_transferred"] += charge
+            counters["messages_transferred"] += 1
+        if delay > policy.max_latency:
+            self._drop(
+                Message(source, target, batch, size_bytes, now, units),
+                f"route latency {delay:.4f}s exceeds QoS budget "
+                f"{policy.max_latency}s",
+                on_drop,
+            )
+            return None
+        batch = self._trace_batch_transmit(
+            batch, source, target, now, now + delay,
+            hops=len(info.hops), size_bytes=size_bytes,
+        )
+        message = Message(source, target, batch, size_bytes, now, units)
+        self.clock.schedule(
+            delay, lambda: self._deliver(message, on_delivery, on_drop)
+        )
+        return message
+
+    def _trace_batch_transmit(
+        self,
+        batch: object,
+        source: str,
+        target: str,
+        start: float,
+        end: float,
+        hops: "int | None" = None,
+        size_bytes: "float | None" = None,
+    ) -> object:
+        """Record a transmit span for every traced tuple in ``batch``.
+
+        A :class:`TupleBatch` deliberately carries no trace of its own —
+        sampling stays per tuple, so the sampling=0 path costs one ``any``
+        scan only when a tracer is installed, and nothing at all otherwise.
+        Returns the batch rebuilt with child contexts, or unchanged when no
+        member is traced.
+        """
+        tracer = self.tracer
+        if tracer is None or not any(t.trace is not None for t in batch):  # type: ignore[attr-defined]
+            return batch
+        attrs: dict[str, object] = {"from": source, "to": target, "batch": len(batch)}  # type: ignore[arg-type]
+        if hops is not None:
+            attrs["hops"] = hops
+        if size_bytes is not None:
+            attrs["bytes"] = size_bytes
+        traced = []
+        for tuple_ in batch:  # type: ignore[attr-defined]
+            ctx = tuple_.trace
+            if ctx is not None:
+                span = tracer.span(ctx, "transmit", start, end, **attrs)
+                tuple_ = tuple_.with_trace(ctx.child_of(span))
+            traced.append(tuple_)
+        return batch.with_tuples(traced)  # type: ignore[attr-defined]
+
     def _deliver(
         self,
         message: Message,
@@ -175,6 +293,7 @@ class NetworkSimulator:
             return
         stats = self.stats
         stats.messages_delivered += 1
+        stats.tuples_delivered += message.units
         stats.total_delay += self.clock.now - message.sent_at
         on_delivery(message.payload)
 
@@ -193,6 +312,15 @@ class NetworkSimulator:
                     ctx, "drop", self.clock.now, reason=reason,
                     **{"from": message.source, "to": message.target},
                 )
+            elif message.units > 1 or hasattr(message.payload, "tuples"):
+                # A dropped batch records one drop span per traced member.
+                for tuple_ in getattr(message.payload, "tuples", ()):
+                    if tuple_.trace is not None:
+                        tracer.span(
+                            tuple_.trace, "drop", self.clock.now,
+                            reason=reason, batch=message.units,
+                            **{"from": message.source, "to": message.target},
+                        )
         if on_drop is not None:
             on_drop(message, reason)
         if self.on_drop is not None:

@@ -25,10 +25,19 @@ class ScheduledEvent:
     sequence: int
     callback: Callable = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set when the event is popped for execution — a late cancel() (e.g. a
+    #: periodic's cancel fired from inside its own callback) must not count
+    #: toward the owner's cancelled-entry tally, the entry already left the heap.
+    done: bool = field(default=False, compare=False)
+    owner: "SimClock | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Cancel the event; it is skipped when its time arrives."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class SimClock:
@@ -49,6 +58,8 @@ class SimClock:
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._sequence = itertools.count()
         self._running = False
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -57,8 +68,27 @@ class SimClock:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        """Number of scheduled (non-cancelled) events.
+
+        O(1): the clock tracks how many heap entries are lazily-deleted
+        tombstones rather than scanning the heap.
+        """
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """A live heap entry became a tombstone; compact if they dominate.
+
+        Compaction is in place (``self._heap[:] = ...``) because ``run`` /
+        ``run_until`` hold a local reference to the heap list while the
+        clock is running — rebinding would desynchronize them.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self._heap[:] = [
+                entry for entry in self._heap if not entry[2].cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def schedule(self, delay: float, callback: Callable) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -68,7 +98,7 @@ class SimClock:
         # frame on the simulator's hottest call.
         time = self._now + delay
         sequence = next(self._sequence)
-        event = ScheduledEvent(time, sequence, callback)
+        event = ScheduledEvent(time, sequence, callback, owner=self)
         heapq.heappush(self._heap, (time, sequence, event))
         return event
 
@@ -79,7 +109,7 @@ class SimClock:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         sequence = next(self._sequence)
-        event = ScheduledEvent(time, sequence, callback)
+        event = ScheduledEvent(time, sequence, callback, owner=self)
         heapq.heappush(self._heap, (time, sequence, event))
         return event
 
@@ -120,7 +150,9 @@ class SimClock:
         while self._heap:
             event_time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.done = True
             self._now = event_time
             event.callback()
             return True
@@ -148,7 +180,9 @@ class SimClock:
                     break
                 _, _, event = heappop(heap)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
+                event.done = True
                 self._now = event_time
                 event.callback()
                 executed += 1
@@ -175,7 +209,9 @@ class SimClock:
             while heap:
                 event_time, _, event = heappop(heap)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
+                event.done = True
                 self._now = event_time
                 event.callback()
                 executed += 1

@@ -28,7 +28,12 @@ from repro.network.netsim import NetworkSimulator
 from repro.obs.lineage import tuple_key
 from repro.pubsub.registry import SensorMetadata, SensorRegistry
 from repro.pubsub.subscription import Subscription, SubscriptionFilter
-from repro.streams.tuple import SensorTuple, estimate_size_bytes
+from repro.streams.tuple import (
+    SensorTuple,
+    TupleBatch,
+    estimate_batch_size_bytes,
+    estimate_size_bytes,
+)
 
 #: Wire size of a sensor advertisement (id + type + schema summary).
 _ADVERTISEMENT_BYTES = 256
@@ -132,6 +137,10 @@ class BrokerNetwork:
         self.data_messages_suppressed = 0
         self.data_messages_retried = 0
         self.data_messages_dead_lettered = 0
+        #: Tuples routed to subscribers — equals ``data_messages_sent``
+        #: without batching; with batching, one message carries many tuples.
+        self.data_tuples_sent = 0
+        self.data_tuples_suppressed = 0
 
     @property
     def obs(self) -> "object | None":
@@ -151,6 +160,11 @@ class BrokerNetwork:
         self._dead_letter_counter = value.metrics.counter(
             "broker_dead_letters_total",
             "tuples dead-lettered after retry exhaustion",
+        )
+        self._batch_size_histogram = value.metrics.histogram(
+            "broker_batch_size",
+            "tuples per published micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
         )
 
     # -- broker membership ---------------------------------------------------
@@ -295,13 +309,51 @@ class BrokerNetwork:
             if not subscription.active:
                 subscription.suppressed += 1
                 self.data_messages_suppressed += 1
+                self.data_tuples_suppressed += 1
                 continue
             self.data_messages_sent += 1
+            self.data_tuples_sent += 1
             initiated += 1
             if self.netsim is None:
                 subscription.deliver(tuple_)
                 continue
             self._transmit(metadata, subscription, tuple_, attempt=0)
+        return initiated
+
+    def publish_batch(
+        self, sensor_id: str, tuples: "TupleBatch | list[SensorTuple]"
+    ) -> int:
+        """Route a micro-batch of readings in one fan-out pass.
+
+        Subscription matching happens once per (sensor, batch) — the route
+        list lookup and the active check are amortized over the whole run of
+        tuples — and each matching subscriber receives the batch as a single
+        network message.  Returns the number of batch deliveries initiated.
+        Counters stay tuple-denominated (``data_tuples_*``) alongside the
+        message-denominated ``data_messages_*`` so monitoring does not
+        under-count traffic when batching is on.
+        """
+        metadata = self.registry.get(sensor_id)
+        batch = tuples if isinstance(tuples, TupleBatch) else TupleBatch.of(tuples)
+        if not batch:
+            return 0
+        if self.obs is not None:
+            batch = self._observe_publish_batch(metadata, batch)
+        count = len(batch)
+        initiated = 0
+        for subscription in self._routes.get(sensor_id, ()):
+            if not subscription.active:
+                subscription.suppressed += count
+                self.data_messages_suppressed += 1
+                self.data_tuples_suppressed += count
+                continue
+            self.data_messages_sent += 1
+            self.data_tuples_sent += count
+            initiated += 1
+            if self.netsim is None:
+                subscription.deliver_batch(batch)
+                continue
+            self._transmit_batch(metadata, subscription, batch, attempt=0)
         return initiated
 
     def _observe_publish(
@@ -331,6 +383,49 @@ class BrokerNetwork:
             if ctx is not None:
                 tuple_ = tuple_.with_trace(ctx)
         return tuple_
+
+    def _observe_publish_batch(
+        self, metadata: SensorMetadata, batch: TupleBatch
+    ) -> TupleBatch:
+        """Count the batch's tuples, record its size, open sampled traces.
+
+        Per-tuple trace sampling still applies inside a batch — the
+        error-diffusion sampler decides tuple by tuple, so sampling=0 costs
+        one ``enabled`` check per batch instead of per tuple.
+        """
+        obs = self.obs
+        counter = self._published_counters.get(metadata.sensor_id)
+        if counter is None:
+            counter = self._published_counters[metadata.sensor_id] = (
+                obs.metrics.counter(
+                    "broker_tuples_published_total",
+                    "readings published through the broker overlay",
+                    source=metadata.sensor_id,
+                )
+            )
+        count = len(batch)
+        counter.inc(count)
+        self._batch_size_histogram.observe(count)
+        tracer = obs.tracer
+        if not tracer.enabled:
+            return batch
+        now = self.netsim.clock.now if self.netsim is not None else 0.0
+        traced = []
+        changed = False
+        for tuple_ in batch:
+            if tuple_.trace is None:
+                ctx = tracer.start_trace(
+                    "publish", now,
+                    source=metadata.sensor_id,
+                    node=metadata.node_id,
+                    tuple=tuple_key(tuple_),
+                    batch=count,
+                )
+                if ctx is not None:
+                    tuple_ = tuple_.with_trace(ctx)
+                    changed = True
+            traced.append(tuple_)
+        return batch.with_tuples(traced) if changed else batch
 
     def _transmit(
         self,
@@ -395,3 +490,79 @@ class BrokerNetwork:
         subscription.dead_letter(tuple_, reason, failed_at=now)
         if self.on_dead_letter is not None:
             self.on_dead_letter(subscription, tuple_, reason)
+
+    def _transmit_batch(
+        self,
+        metadata: SensorMetadata,
+        subscription: Subscription,
+        batch: TupleBatch,
+        attempt: int,
+    ) -> None:
+        """One batch transmission attempt; losses re-enter via ``_on_batch_loss``."""
+        self.netsim.send_batch(
+            source=metadata.node_id,
+            target=subscription.node_id,
+            batch=batch,
+            size_bytes=estimate_batch_size_bytes(batch),
+            on_delivery=subscription.deliver_batch,
+            on_drop=lambda _message, reason: self._on_batch_loss(
+                metadata, subscription, batch, attempt, reason
+            ),
+        )
+
+    def _on_batch_loss(
+        self,
+        metadata: SensorMetadata,
+        subscription: Subscription,
+        batch: TupleBatch,
+        attempt: int,
+        reason: str,
+    ) -> None:
+        """A batch was lost in flight: retry it whole, or dead-letter it.
+
+        Retries redeliver the entire batch (all-or-nothing loss semantics,
+        one backoff timer per batch rather than per tuple).  On exhaustion
+        every member is dead-lettered *individually* — audit records and the
+        ``on_dead_letter`` hook stay tuple-denominated, so the monitor's
+        quorum logic and the PR 1 audit format are unchanged by batching.
+        """
+        obs = self.obs
+        if attempt < self.retry_policy.max_attempts:
+            next_attempt = attempt + 1
+            subscription.retries += 1
+            self.data_messages_retried += 1
+            backoff = self.retry_policy.backoff(next_attempt)
+            if obs is not None:
+                self._retry_counter.inc()
+                now = self.netsim.clock.now
+                for tuple_ in batch:
+                    if tuple_.trace is not None:
+                        obs.tracer.span(
+                            tuple_.trace, "retry", now, now + backoff,
+                            attempt=next_attempt,
+                            to=subscription.node_id,
+                            reason=reason,
+                            batch=len(batch),
+                        )
+            self.netsim.clock.schedule(
+                backoff,
+                lambda: self._transmit_batch(
+                    metadata, subscription, batch, next_attempt
+                ),
+            )
+            return
+        now = self.netsim.clock.now
+        for tuple_ in batch:
+            self.data_messages_dead_lettered += 1
+            if obs is not None:
+                self._dead_letter_counter.inc()
+                if tuple_.trace is not None:
+                    obs.tracer.span(
+                        tuple_.trace, "dead-letter", now,
+                        subscription=subscription.subscription_id,
+                        to=subscription.node_id,
+                        reason=reason,
+                    )
+            subscription.dead_letter(tuple_, reason, failed_at=now)
+            if self.on_dead_letter is not None:
+                self.on_dead_letter(subscription, tuple_, reason)

@@ -103,6 +103,11 @@ class Subscription:
     filter: SubscriptionFilter
     callback: Callable[[SensorTuple], None]
     node_id: str
+    #: Optional whole-batch delivery hook.  When set, a delivered
+    #: :class:`~repro.streams.tuple.TupleBatch` is handed over in one call
+    #: (the executor points this at ``OperatorProcess.receive_batch``);
+    #: when ``None``, batches are unrolled through ``callback`` per tuple.
+    batch_callback: "Callable[[object], None] | None" = None
     active: bool = True
     subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
     delivered: int = 0
@@ -132,3 +137,23 @@ class Subscription:
         self.delivered += 1
         self.callback(tuple_)
         return True
+
+    def deliver_batch(self, batch: object) -> int:
+        """Deliver a whole micro-batch; returns tuples delivered.
+
+        Counters stay tuple-denominated so pausing/resuming under batching
+        reports the same suppressed/delivered totals as tuple-at-a-time
+        delivery.
+        """
+        count = len(batch)  # type: ignore[arg-type]
+        if not self.active:
+            self.suppressed += count
+            return 0
+        self.delivered += count
+        if self.batch_callback is not None:
+            self.batch_callback(batch)
+        else:
+            callback = self.callback
+            for tuple_ in batch:  # type: ignore[attr-defined]
+                callback(tuple_)
+        return count

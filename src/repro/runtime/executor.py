@@ -85,6 +85,10 @@ class Deployment:
         self.bindings: dict[str, _SourceBinding] = {}
         self.placements: dict[str, PlacementDecision] = {}
         self.collectors: dict[str, ListSink] = {}
+        #: source service -> micro-batch hint (max over its channels'
+        #: declared ``batch``).  The scenario layer applies these to the
+        #: matched sensors (the executor does not own sensor objects).
+        self.batch_hints: dict[str, int] = {}
         self.state = DeploymentState.DESIGNED
         self._rebalance_cancel: "Callable[[], None] | None" = None
         #: subscription id -> the process that consumes its deliveries.
@@ -394,6 +398,11 @@ class Executor:
             qos = program.service(channel.target).qos
             if channel.source in deployment.bindings:
                 self._bind_source(deployment, channel.source, target, channel.port)
+                if channel.batch > 1:
+                    deployment.batch_hints[channel.source] = max(
+                        deployment.batch_hints.get(channel.source, 1),
+                        channel.batch,
+                    )
             else:
                 deployment.processes[channel.source].add_route(
                     target, port=channel.port, qos=qos
@@ -463,6 +472,11 @@ class Executor:
             node_id=target.node_id,
             filter_=filter_,
             callback=lambda tuple_, t=target, p=port: t.receive(tuple_, port=p),
+        )
+        # Micro-batches delivered to this subscription go through the
+        # process's batch path in one call instead of unrolling per tuple.
+        subscription.batch_callback = (
+            lambda batch, t=target, p=port: t.receive_batch(batch, port=p)
         )
         if not service.params.get("active", True):
             subscription.pause()

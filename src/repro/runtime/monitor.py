@@ -308,6 +308,14 @@ class Monitor:
                 "network_messages_dropped", "messages lost in the network"
             ).set(stats.messages_dropped)
             metrics.gauge(
+                "network_tuples_sent",
+                "payload tuples handed to the simulator (batches unrolled)",
+            ).set(stats.tuples_sent)
+            metrics.gauge(
+                "network_tuples_delivered",
+                "payload tuples delivered (batches unrolled)",
+            ).set(stats.tuples_delivered)
+            metrics.gauge(
                 "network_link_bytes", "total bytes moved across all links"
             ).set(self.netsim.total_link_bytes())
 
@@ -395,6 +403,8 @@ class Monitor:
                 "messages_sent": self.netsim.stats.messages_sent,
                 "messages_delivered": self.netsim.stats.messages_delivered,
                 "messages_dropped": self.netsim.stats.messages_dropped,
+                "tuples_sent": self.netsim.stats.tuples_sent,
+                "tuples_delivered": self.netsim.stats.tuples_delivered,
                 "mean_delay": self.netsim.stats.mean_delay,
                 "link_bytes": self.netsim.total_link_bytes(),
             },
@@ -418,11 +428,15 @@ class Monitor:
             flag = "  << SUFFERING" if key in report["suffering_nodes"] else ""
             bar = "#" * min(40, int(util * 40))
             lines.append(f"  {key:20s} {util:6.1%} {bar}{flag}")
+        network = report["network"]
+        delivered = f"{network['messages_delivered']} delivered"
+        if network["tuples_delivered"] != network["messages_delivered"]:
+            delivered += f" ({network['tuples_delivered']} tuples)"
         lines.append(
-            f"-- network: {report['network']['messages_delivered']} delivered, "
-            f"{report['network']['messages_dropped']} dropped, "
+            f"-- network: {delivered}, "
+            f"{network['messages_dropped']} dropped, "
             f"{report['dead_letters']} dead-lettered, "
-            f"{report['network']['link_bytes']:.0f} bytes on links --"
+            f"{network['link_bytes']:.0f} bytes on links --"
         )
         unhealthy = {
             node: health

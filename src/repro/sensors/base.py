@@ -11,15 +11,40 @@ reproducible regardless of attachment order.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.errors import PubSubError
-from repro.network.simclock import SimClock
+from repro.network.simclock import ScheduledEvent, SimClock
 from repro.pubsub.broker import BrokerNetwork
 from repro.pubsub.registry import SensorMetadata
 from repro.pubsub.stamping import backfill_stamp
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Adaptive micro-batch flushing for a source.
+
+    Readings buffer at the sensor and flush as one
+    :meth:`~repro.pubsub.broker.BrokerNetwork.publish_batch` when either
+    ``max_batch`` tuples have accumulated or ``max_delay`` virtual seconds
+    have passed since the first buffered reading — whichever comes first.
+    ``max_batch=1`` disables buffering entirely: every reading goes
+    straight through ``publish_data``, byte-for-byte today's behaviour.
+    """
+
+    max_batch: int = 1
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise PubSubError(f"max_batch must be >= 1: {self.max_batch}")
+        if self.max_batch > 1 and self.max_delay <= 0:
+            raise PubSubError(
+                f"max_delay must be positive when batching: {self.max_delay}"
+            )
 
 
 class ValueGenerator(Protocol):
@@ -49,6 +74,7 @@ class SimulatedSensor:
         metadata: SensorMetadata,
         generator: ValueGenerator,
         seed: int = 7,
+        batching: "BatchingPolicy | None" = None,
     ) -> None:
         self.metadata = metadata
         self.generator = generator
@@ -56,8 +82,13 @@ class SimulatedSensor:
         self.rng = np.random.default_rng(_seed_for(metadata.sensor_id, seed))
         self.emitted = 0
         self.skipped = 0
+        self.batches_flushed = 0
+        self.batching = batching if batching is not None else BatchingPolicy()
+        self._buffer: list = []
+        self._flush_event: "ScheduledEvent | None" = None
         self._cancel: "Callable[[], None] | None" = None
         self._network: "BrokerNetwork | None" = None
+        self._clock: "SimClock | None" = None
 
     @property
     def sensor_id(self) -> str:
@@ -73,19 +104,31 @@ class SimulatedSensor:
             raise PubSubError(f"sensor {self.sensor_id!r} is already attached")
         network.publish(self.metadata)
         self._network = network
+        self._clock = clock
         self._cancel = clock.schedule_periodic(
             self.metadata.period, lambda: self._emit(clock.now)
         )
 
     def detach(self) -> None:
-        """Stop emitting and unpublish (a sensor leaving the network)."""
+        """Stop emitting and unpublish (a sensor leaving the network).
+
+        Buffered readings are flushed first — detaching never loses data
+        that was already generated.
+        """
         if not self.attached:
             raise PubSubError(f"sensor {self.sensor_id!r} is not attached")
         assert self._cancel is not None and self._network is not None
+        self.flush()
         self._cancel()
         self._network.unpublish(self.sensor_id)
         self._cancel = None
         self._network = None
+        self._clock = None
+
+    def set_batching(self, batching: "BatchingPolicy | None") -> None:
+        """Change the flush policy; any buffered readings flush first."""
+        self.flush()
+        self.batching = batching if batching is not None else BatchingPolicy()
 
     def _emit(self, now: float) -> None:
         assert self._network is not None
@@ -100,7 +143,34 @@ class SimulatedSensor:
             seq=self.emitted,
         )
         self.emitted += 1
-        self._network.publish_data(self.sensor_id, tuple_)
+        max_batch = self.batching.max_batch
+        if max_batch <= 1:
+            self._network.publish_data(self.sensor_id, tuple_)
+            return
+        # Adaptive flusher: hold the reading back until the batch fills or
+        # the delay budget for its first buffered sibling expires.
+        self._buffer.append(tuple_)
+        if len(self._buffer) >= max_batch:
+            self.flush()
+        elif len(self._buffer) == 1:
+            assert self._clock is not None
+            self._flush_event = self._clock.schedule(
+                self.batching.max_delay, self.flush
+            )
+
+    def flush(self) -> int:
+        """Publish any buffered readings now; returns tuples flushed."""
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        if not self._buffer:
+            return 0
+        batch = self._buffer
+        self._buffer = []
+        self.batches_flushed += 1
+        assert self._network is not None
+        self._network.publish_batch(self.sensor_id, batch)
+        return len(batch)
 
     def probe(self, now: float) -> "dict | None":
         """Generate a payload without emitting (designer sample preview).

@@ -23,7 +23,12 @@ every t time intervals".  Operators are runtime-agnostic: they expose
 baselines) or by operator processes placed on network nodes (the executor).
 """
 
-from repro.streams.tuple import SensorTuple, estimate_size_bytes
+from repro.streams.tuple import (
+    SensorTuple,
+    TupleBatch,
+    estimate_batch_size_bytes,
+    estimate_size_bytes,
+)
 from repro.streams.base import (
     Operator,
     NonBlockingOperator,
@@ -43,6 +48,8 @@ from repro.streams.sink import ListSink, CallbackSink, CountingSink
 
 __all__ = [
     "SensorTuple",
+    "TupleBatch",
+    "estimate_batch_size_bytes",
     "estimate_size_bytes",
     "Operator",
     "NonBlockingOperator",

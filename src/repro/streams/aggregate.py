@@ -152,6 +152,20 @@ class AggregationOperator(BlockingOperator):
             self._accumulate(tuple_)
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: one window append pass per batch — the cache
+        # and accumulator methods are bound once outside the loop.
+        add = self.cache.add
+        if self.incremental:
+            accumulate = self._accumulate
+            for tuple_ in tuples:
+                add(tuple_)
+                accumulate(tuple_)
+        else:
+            for tuple_ in tuples:
+                add(tuple_)
+        return []
+
     # -- running accumulators -------------------------------------------------
 
     def _group_key(self, tuple_: SensorTuple) -> object:

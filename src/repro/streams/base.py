@@ -23,7 +23,7 @@ operator — emergencies are exactly when malformed sensor data shows up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import CheckpointError, ExpressionError, StreamLoaderError
 from repro.streams.tuple import SensorTuple
@@ -106,6 +106,25 @@ class Operator:
         self.stats.tuples_out += len(out)
         return out
 
+    def on_batch(
+        self, tuples: "Sequence[SensorTuple]", port: int = 0
+    ) -> list[SensorTuple]:
+        """Feed a micro-batch into the given input port; returns emissions.
+
+        Semantically identical to calling :meth:`on_tuple` per member, but
+        the port check and stats updates happen once per batch and
+        subclasses may override :meth:`_process_batch` with a tight loop
+        over pre-bound state (the micro-batch fast path).
+        """
+        if not (0 <= port < self.input_ports):
+            raise StreamLoaderError(
+                f"{self.name}: invalid port {port} (has {self.input_ports})"
+            )
+        self.stats.tuples_in += len(tuples)
+        out = self._process_batch(tuples, port)
+        self.stats.tuples_out += len(out)
+        return out
+
     def on_timer(self, now: float) -> list[SensorTuple]:
         """Flush hook for blocking operators; no-op for non-blocking ones."""
         if self.interval is None:
@@ -155,6 +174,24 @@ class Operator:
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         raise NotImplementedError
+
+    def _process_batch(
+        self, tuples: "Sequence[SensorTuple]", port: int
+    ) -> list[SensorTuple]:
+        """Default batch path: per-tuple processing with the same
+        error-quarantine semantics as :meth:`on_tuple` (a failing tuple is
+        counted and dropped without poisoning the rest of the batch)."""
+        out: list[SensorTuple] = []
+        process = self._process
+        errors = 0
+        for tuple_ in tuples:
+            try:
+                out.extend(process(tuple_, port))
+            except ExpressionError:
+                errors += 1
+        if errors:
+            self.stats.errors += errors
+        return out
 
     def _flush(self, now: float) -> list[SensorTuple]:
         return []

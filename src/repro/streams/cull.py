@@ -40,6 +40,24 @@ class _CullBase(NonBlockingOperator):
             return [tuple_]
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: the down-sampling counter lives in a local for
+        # the duration of the loop and is written back once.
+        in_region = self._in_region
+        rate = self.rate
+        counter = self._counter
+        out: list[SensorTuple] = []
+        append = out.append
+        for tuple_ in tuples:
+            if not in_region(tuple_):
+                append(tuple_)
+                continue
+            counter += 1
+            if counter % rate == 0:
+                append(tuple_)
+        self._counter = counter
+        return out
+
     def reset(self) -> None:
         super().reset()
         self._counter = 0

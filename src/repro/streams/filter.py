@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.errors import ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
@@ -26,6 +27,23 @@ class FilterOperator(NonBlockingOperator):
         if self.condition.evaluate_bool(tuple_.values()):
             return [tuple_]
         return []
+
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: the compiled predicate is bound once and run in
+        # a tight loop; failing tuples are quarantined individually.
+        evaluate = self.condition.evaluate_bool
+        out: list[SensorTuple] = []
+        append = out.append
+        errors = 0
+        for tuple_ in tuples:
+            try:
+                if evaluate(tuple_.values()):
+                    append(tuple_)
+            except ExpressionError:
+                errors += 1
+        if errors:
+            self.stats.errors += errors
+        return out
 
     def describe(self) -> str:
         return f"σ(s, {self.condition.source})"

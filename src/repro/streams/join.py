@@ -125,6 +125,13 @@ class JoinOperator(BlockingOperator):
             self.right_cache.add(tuple_)
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: resolve the side once per batch, not per tuple.
+        add = self.left_cache.add if port == 0 else self.right_cache.add
+        for tuple_ in tuples:
+            add(tuple_)
+        return []
+
     #: Key value types whose hash/equality semantics are guaranteed to
     #: agree with the expression evaluator's ``==`` (numeric cross-type
     #: equality included; NaN keys are safe because candidates re-run the

@@ -26,6 +26,10 @@ class ListSink(NonBlockingOperator):
         self.received.append(tuple_)
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        self.received.extend(tuples)
+        return []
+
     def reset(self) -> None:
         super().reset()
         self.received = []
@@ -47,6 +51,12 @@ class CallbackSink(NonBlockingOperator):
         self.callback(tuple_)
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        callback = self.callback
+        for tuple_ in tuples:
+            callback(tuple_)
+        return []
+
 
 class CountingSink(NonBlockingOperator):
     """Count tuples without retaining them (throughput benchmarks)."""
@@ -60,6 +70,10 @@ class CountingSink(NonBlockingOperator):
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         self.count += 1
+        return []
+
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        self.count += len(tuples)
         return []
 
     def reset(self) -> None:

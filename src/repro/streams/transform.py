@@ -14,7 +14,7 @@ conversions are expression built-ins (``convert``, see
 
 from __future__ import annotations
 
-from repro.errors import DataflowError
+from repro.errors import DataflowError, ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
@@ -65,6 +65,35 @@ class TransformOperator(NonBlockingOperator):
             updated = {name: updated[name] for name in self.project}
         return [tuple_.with_payload(updated)]
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: assignments/rename/project are bound once; each
+        # member is rewritten in a tight loop with per-tuple quarantine.
+        assignments = self.assignments
+        rename = self.rename
+        project = self.project
+        out: list[SensorTuple] = []
+        append = out.append
+        errors = 0
+        for tuple_ in tuples:
+            try:
+                values = tuple_.values()
+                updated = dict(values)
+                for attr, expr in assignments.items():
+                    updated[attr] = expr.evaluate(values)
+                if rename:
+                    updated = {
+                        rename.get(name, name): value
+                        for name, value in updated.items()
+                    }
+                if project is not None:
+                    updated = {name: updated[name] for name in project}
+                append(tuple_.with_payload(updated))
+            except ExpressionError:
+                errors += 1
+        if errors:
+            self.stats.errors += errors
+        return out
+
     def describe(self) -> str:
         parts = [f"{attr}:={expr.source}" for attr, expr in self.assignments.items()]
         parts += [f"{old}->{new}" for old, new in self.rename.items()]
@@ -99,6 +128,28 @@ class ValidateOperator(NonBlockingOperator):
                 self.stats.errors += 1
                 return []
         return [tuple_]
+
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: the rule list is bound once; violators and
+        # evaluation failures are quarantined tuple by tuple.
+        rules = self.rules
+        out: list[SensorTuple] = []
+        append = out.append
+        errors = 0
+        for tuple_ in tuples:
+            values = tuple_.values()
+            try:
+                for rule in rules:
+                    if not rule.evaluate_bool(values):
+                        errors += 1
+                        break
+                else:
+                    append(tuple_)
+            except ExpressionError:
+                errors += 1
+        if errors:
+            self.stats.errors += errors
+        return out
 
     def describe(self) -> str:
         rules = " ∧ ".join(rule.source for rule in self.rules)

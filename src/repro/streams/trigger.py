@@ -106,6 +106,13 @@ class _TriggerBase(BlockingOperator):
         self.cache.add(tuple_)
         return []
 
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: single bound append over the window cache.
+        add = self.cache.add
+        for tuple_ in tuples:
+            add(tuple_)
+        return []
+
     def _flush(self, now: float) -> list[SensorTuple]:
         self.cache.prune(before=now - self.window)
         if not self.cache:

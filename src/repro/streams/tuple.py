@@ -1,9 +1,14 @@
-"""Stream tuples: an immutable payload plus the STT stamp and provenance."""
+"""Stream tuples: an immutable payload plus the STT stamp and provenance.
+
+Also home of the micro-batch envelope: a :class:`TupleBatch` groups
+consecutive readings from one source so the broker, network, and operator
+layers can amortize their per-message framing costs over many tuples.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 from types import MappingProxyType
 
 from repro.stt.event import Event, SttStamp
@@ -84,6 +89,49 @@ class SensorTuple:
         return Event(value=value, stamp=self.stamp, source=self.source)
 
 
+@dataclass(frozen=True, slots=True)
+class TupleBatch:
+    """A micro-batch of readings travelling the data plane as one message.
+
+    The envelope is deliberately thin: an immutable run of tuples plus the
+    producing source's id.  Ordering inside a batch is the emission order,
+    so per-source tuple order is preserved whether a stream is delivered
+    tuple-by-tuple or in batches (the ``batched ≡ unbatched`` parity
+    property).  Batches are routed once, charged to links once, and
+    delivered by a single scheduled event — that amortization is the whole
+    point (see DESIGN.md §11).
+    """
+
+    tuples: tuple[SensorTuple, ...]
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tuples, tuple):
+            object.__setattr__(self, "tuples", tuple(self.tuples))
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[SensorTuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, index: int) -> SensorTuple:
+        return self.tuples[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.tuples)
+
+    def with_tuples(self, tuples: "Sequence[SensorTuple]") -> "TupleBatch":
+        return TupleBatch(tuples=tuple(tuples), source=self.source)
+
+    @classmethod
+    def of(cls, tuples: "Sequence[SensorTuple]") -> "TupleBatch":
+        """Wrap a run of tuples, labelling the batch with the first
+        tuple's source (the common single-source case)."""
+        tuples = tuple(tuples)
+        return cls(tuples=tuples, source=tuples[0].source if tuples else "")
+
+
 def estimate_size_bytes(tuple_: SensorTuple) -> int:
     """Approximate wire size of a tuple, for link traffic accounting.
 
@@ -105,3 +153,17 @@ def estimate_size_bytes(tuple_: SensorTuple) -> int:
         else:
             size += 16
     return size
+
+
+#: Fixed wire overhead of a batch envelope (count + source + framing).
+BATCH_ENVELOPE_BYTES = 24
+
+
+def estimate_batch_size_bytes(batch: "TupleBatch | Sequence[SensorTuple]") -> int:
+    """Approximate wire size of a whole batch.
+
+    One batch envelope plus every member's individual size — batching
+    amortizes *framing work* (routing, scheduling, dispatch), not payload
+    bytes, so links are still charged for each reading they carry.
+    """
+    return BATCH_ENVELOPE_BYTES + sum(estimate_size_bytes(t) for t in batch)

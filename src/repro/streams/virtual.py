@@ -7,7 +7,7 @@ computed from temperature and humidity.
 
 from __future__ import annotations
 
-from repro.errors import DataflowError
+from repro.errors import DataflowError, ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
@@ -49,6 +49,26 @@ class VirtualPropertyOperator(NonBlockingOperator):
             return []
         value = self.spec.evaluate(tuple_.values())
         return [tuple_.with_updates(**{self.property_name: value})]
+
+    def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
+        # Batch fast path: the prepared spec is bound once and evaluated in
+        # a tight loop; collisions and failures quarantine per tuple.
+        name = self.property_name
+        evaluate = self.spec.evaluate
+        out: list[SensorTuple] = []
+        append = out.append
+        errors = 0
+        for tuple_ in tuples:
+            if name in tuple_:
+                errors += 1
+                continue
+            try:
+                append(tuple_.with_updates(**{name: evaluate(tuple_.values())}))
+            except ExpressionError:
+                errors += 1
+        if errors:
+            self.stats.errors += errors
+        return out
 
     def describe(self) -> str:
         return f"⊎s⟨{self.property_name}, {self.spec.source}⟩"

@@ -1,0 +1,137 @@
+"""Unit tests: the sensor-side adaptive micro-batch flusher."""
+
+import pytest
+
+from repro.errors import PubSubError
+from repro.network.simclock import SimClock
+from repro.pubsub.broker import BrokerNetwork
+from repro.pubsub.subscription import SubscriptionFilter
+from repro.sensors.base import BatchingPolicy, SimulatedSensor
+from tests.unit.pubsub.test_registry import make_metadata
+
+
+@pytest.fixture
+def rig():
+    """(network, clock, delivered tuples) for an in-process broker."""
+    network = BrokerNetwork()
+    clock = SimClock()
+    seen = []
+    network.subscribe("edge-0", SubscriptionFilter(sensor_type="temperature"),
+                      seen.append)
+    return network, clock, seen
+
+
+def make_sensor(frequency=1.0, batching=None) -> SimulatedSensor:
+    return SimulatedSensor(
+        make_metadata("t1", "temperature", frequency=frequency,
+                      node_id="edge-0"),
+        generator=lambda now, rng: {"v": now},
+        batching=batching,
+    )
+
+
+class TestPolicy:
+    def test_defaults_to_unbatched(self):
+        assert BatchingPolicy().max_batch == 1
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(PubSubError):
+            BatchingPolicy(max_batch=0)
+
+    def test_rejects_non_positive_delay_when_batching(self):
+        with pytest.raises(PubSubError):
+            BatchingPolicy(max_batch=4, max_delay=0.0)
+        BatchingPolicy(max_batch=1, max_delay=0.0)  # fine when unbatched
+
+
+class TestUnbatchedPassthrough:
+    def test_each_reading_published_immediately(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor()
+        sensor.attach(network, clock)
+        clock.run_until(3.5)
+        assert len(seen) == 3
+        assert sensor.batches_flushed == 0
+        assert network.data_messages_sent == 3
+
+
+class TestFlushOnFill:
+    def test_flushes_when_batch_fills(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=3,
+                                                     max_delay=100.0))
+        sensor.attach(network, clock)
+        clock.run_until(2.5)
+        assert seen == []  # two readings buffered, batch not full
+        clock.run_until(3.5)
+        assert len(seen) == 3
+        assert sensor.batches_flushed == 1
+        # One network-level fan-out for three tuples.
+        assert network.data_messages_sent == 1
+        assert network.data_tuples_sent == 3
+
+    def test_order_preserved_across_flushes(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=2,
+                                                     max_delay=100.0))
+        sensor.attach(network, clock)
+        clock.run_until(6.5)
+        assert [t.seq for t in seen] == [0, 1, 2, 3, 4, 5]
+
+
+class TestFlushOnDelay:
+    def test_partial_batch_flushes_after_max_delay(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=100,
+                                                     max_delay=2.5))
+        sensor.attach(network, clock)
+        # Readings at t=1, 2, 3; the t=1 reading's delay budget expires at
+        # t=3.5, flushing everything buffered by then.
+        clock.run_until(3.4)
+        assert seen == []
+        clock.run_until(3.6)
+        assert [t.seq for t in seen] == [0, 1, 2]
+        assert sensor.batches_flushed == 1
+
+    def test_delay_timer_rearms_per_batch(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=100,
+                                                     max_delay=1.5))
+        sensor.attach(network, clock)
+        clock.run_until(10.0)
+        # Each flush restarts the window on the next buffered reading.
+        assert sensor.batches_flushed >= 2
+        assert [t.seq for t in seen] == sorted(t.seq for t in seen)
+
+
+class TestLifecycle:
+    def test_detach_flushes_buffered_readings(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=100,
+                                                     max_delay=100.0))
+        sensor.attach(network, clock)
+        clock.run_until(2.5)
+        assert seen == []
+        sensor.detach()
+        assert [t.seq for t in seen] == [0, 1]
+        clock.run()  # the cancelled flush timer must not fire
+        assert len(seen) == 2
+
+    def test_set_batching_flushes_first(self, rig):
+        network, clock, seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=100,
+                                                     max_delay=100.0))
+        sensor.attach(network, clock)
+        clock.run_until(2.5)
+        sensor.set_batching(None)
+        assert len(seen) == 2  # buffered readings were not lost
+        clock.run_until(3.5)
+        assert len(seen) == 3  # and emission is per-tuple again
+        assert sensor.batching.max_batch == 1
+
+    def test_flush_on_empty_buffer_is_a_no_op(self, rig):
+        network, clock, _seen = rig
+        sensor = make_sensor(batching=BatchingPolicy(max_batch=4))
+        sensor.attach(network, clock)
+        assert sensor.flush() == 0
+        assert sensor.batches_flushed == 0

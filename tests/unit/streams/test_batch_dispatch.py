@@ -1,0 +1,136 @@
+"""Unit tests: on_batch dispatch and the operators' batch fast paths.
+
+Every fast path must agree exactly with N calls of the per-tuple path —
+including error quarantine, cull counters, and window cache state.
+"""
+
+import pytest
+
+from repro.streams.aggregate import AggregationOperator
+from repro.streams.cull import CullTimeOperator
+from repro.streams.filter import FilterOperator
+from repro.streams.join import JoinOperator
+from repro.streams.sink import CallbackSink, CountingSink, ListSink
+from repro.streams.transform import TransformOperator, ValidateOperator
+from repro.streams.trigger import TriggerOnOperator
+from repro.streams.virtual import VirtualPropertyOperator
+
+
+def batch_of(make_tuple, temps, start=0):
+    return [make_tuple(seq=start + i, temperature=t, time=float(start + i))
+            for i, t in enumerate(temps)]
+
+
+class TestOnBatchContract:
+    def test_counts_in_and_out(self, make_tuple):
+        op = FilterOperator("temperature > 24")
+        out = op.on_batch(batch_of(make_tuple, [26.0, 20.0, 30.0]))
+        assert [t["temperature"] for t in out] == [26.0, 30.0]
+        assert op.stats.tuples_in == 3
+        assert op.stats.tuples_out == 2
+
+    def test_matches_per_tuple_path(self, make_tuple):
+        temps = [20.0, 25.5, 24.0, 31.0, -3.0]
+        batched = FilterOperator("temperature > 24")
+        single = FilterOperator("temperature > 24")
+        out_batched = batched.on_batch(batch_of(make_tuple, temps))
+        out_single = []
+        for tuple_ in batch_of(make_tuple, temps):
+            out_single.extend(single.on_tuple(tuple_))
+        assert out_batched == out_single
+        assert batched.stats.snapshot() == single.stats.snapshot()
+
+    def test_bad_port_raises(self, make_tuple):
+        from repro.errors import StreamLoaderError
+
+        with pytest.raises(StreamLoaderError):
+            FilterOperator("temperature > 0").on_batch(
+                batch_of(make_tuple, [1.0]), port=1
+            )
+
+
+class TestErrorQuarantine:
+    def test_filter_quarantines_bad_tuples(self, make_tuple):
+        op = FilterOperator("missing_attr > 0")
+        out = op.on_batch(batch_of(make_tuple, [1.0, 2.0]))
+        assert out == []
+        assert op.stats.errors == 2
+
+    def test_partial_batch_survives(self, make_tuple):
+        op = VirtualPropertyOperator("fahrenheit",
+                                     "temperature * 1.8 + 32")
+        bad = make_tuple(9, temperature=10.0)
+        bad = bad.with_payload({"station": "s"})  # no temperature
+        good = make_tuple(1, temperature=10.0)
+        out = op.on_batch([bad, good])
+        assert len(out) == 1
+        assert out[0]["fahrenheit"] == 50.0
+        assert op.stats.errors == 1
+
+    def test_validate_counts_rule_failures(self, make_tuple):
+        op = ValidateOperator(rules=("temperature > 0",))
+        out = op.on_batch(batch_of(make_tuple, [5.0, -1.0, 7.0]))
+        assert [t["temperature"] for t in out] == [5.0, 7.0]
+        assert op.stats.errors == 1
+
+
+class TestStatefulFastPaths:
+    def test_cull_counter_spans_batches(self, make_tuple):
+        op = CullTimeOperator(rate=3, start=0.0, end=1e9)
+        first = op.on_batch(batch_of(make_tuple, [1.0, 2.0], start=0))
+        second = op.on_batch(batch_of(make_tuple, [3.0, 4.0], start=2))
+        # One out of every three across the batch boundary: seq 2 only.
+        assert [t.seq for t in first + second] == [2]
+
+    def test_transform_batch(self, make_tuple):
+        op = TransformOperator(assignments={"temperature":
+                                            "temperature + 1"})
+        out = op.on_batch(batch_of(make_tuple, [1.0, 2.0]))
+        assert [t["temperature"] for t in out] == [2.0, 3.0]
+
+    def test_aggregate_accumulates_whole_batch(self, make_tuple):
+        op = AggregationOperator(interval=3600.0,
+                                 attributes=["temperature"],
+                                 function="AVG")
+        assert op.on_batch(batch_of(make_tuple, [10.0, 20.0, 30.0])) == []
+        out = op.on_timer(3600.0)
+        assert len(out) == 1
+        assert out[0]["avg_temperature"] == pytest.approx(20.0)
+
+    def test_join_routes_batch_to_port_cache(self, make_tuple):
+        op = JoinOperator(interval=60.0,
+                          predicate="left.station == right.station")
+        op.on_batch(batch_of(make_tuple, [1.0, 2.0]), port=0)
+        op.on_batch(batch_of(make_tuple, [3.0]), port=1)
+        assert len(op.left_cache) == 2
+        assert len(op.right_cache) == 1
+
+    def test_trigger_window_fills_from_batch(self, make_tuple):
+        op = TriggerOnOperator(interval=300.0,
+                               condition="avg_temperature > 25",
+                               targets=("s1",), window=3600.0)
+        op.on_batch(batch_of(make_tuple, [30.0, 31.0, 32.0]))
+        assert len(op.cache) == 3
+        op.on_timer(300.0)
+        # The window statistics saw the batched tuples: the gate opened.
+        assert op._last_command is True
+
+
+class TestSinks:
+    def test_list_sink_extends(self, make_tuple):
+        sink = ListSink()
+        batch = batch_of(make_tuple, [1.0, 2.0, 3.0])
+        sink.on_batch(batch)
+        assert sink.received == batch
+
+    def test_counting_sink(self, make_tuple):
+        sink = CountingSink()
+        sink.on_batch(batch_of(make_tuple, [1.0, 2.0]))
+        assert sink.count == 2
+
+    def test_callback_sink_stays_per_tuple(self, make_tuple):
+        seen = []
+        sink = CallbackSink(seen.append)
+        batch = batch_of(make_tuple, [1.0, 2.0])
+        sink.on_batch(batch)
+        assert seen == batch
