@@ -26,7 +26,11 @@ from repro.dataflow.validate import validate_dataflow
 from repro.designer.palette import OPERATOR_PALETTE
 from repro.dsn.generate import dataflow_to_dsn
 from repro.errors import StreamLoaderError
-from repro.scenario import build_stack, osaka_scenario_flow
+from repro.scenario import (
+    build_stack,
+    osaka_scenario_flow,
+    sharded_aggregation_flow,
+)
 
 
 def _batching_from(args: argparse.Namespace):
@@ -40,11 +44,22 @@ def _batching_from(args: argparse.Namespace):
                           max_delay=getattr(args, "max_delay", 1.0))
 
 
+def _shards_from(args: argparse.Namespace):
+    """--shards -> the blanket shard count handed to deploy (or None).
+
+    A blanket request only touches operators with partition keys, so on
+    flows without one (the osaka scenario) it is a documented no-op; use
+    the ``stations`` dataflow to see sharding in action.
+    """
+    shards = getattr(args, "shards", 1)
+    return shards if shards > 1 else None
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     stack = build_stack(hot=not args.cool, extended=args.extended,
                         seed=args.seed, batching=_batching_from(args))
     flow = osaka_scenario_flow(stack)
-    deployment = stack.executor.deploy(flow)
+    deployment = stack.executor.deploy(flow, shards=_shards_from(args))
     stack.run_until(args.hours * 3600.0)
 
     print(stack.executor.monitor.render_dashboard())
@@ -80,9 +95,11 @@ def _run_observed(args: argparse.Namespace):
     name = getattr(args, "dataflow", "osaka")
     if name == "osaka":
         flow = osaka_scenario_flow(stack)
+    elif name == "stations":
+        flow = sharded_aggregation_flow(stack)
     else:
         flow = _load_canvas(name)
-    deployment = stack.executor.deploy(flow)
+    deployment = stack.executor.deploy(flow, shards=_shards_from(args))
     stack.run_until(args.hours * 3600.0)
     return stack, deployment
 
@@ -204,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--max-delay", type=float, default=1.0, metavar="S",
                           help="flush a partial batch after S virtual "
                                "seconds (default 1.0)")
+    scenario.add_argument("--shards", type=int, default=1, metavar="N",
+                          help="split each partitionable blocking operator "
+                               "into N key-hashed shards (default 1: off)")
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -230,7 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "dataflow", nargs="?", default="osaka",
-        help="'osaka' (Section 3 scenario) or a canvas JSON path",
+        help="'osaka' (Section 3 scenario), 'stations' (sharded "
+             "per-station averages), or a canvas JSON path",
     )
     group = trace.add_mutually_exclusive_group()
     group.add_argument("--tuple-id", metavar="SOURCE#SEQ",
@@ -248,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch up to N tuples per source message")
     trace.add_argument("--max-delay", type=float, default=1.0, metavar="S",
                        help="flush a partial batch after S virtual seconds")
+    trace.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="split each partitionable blocking operator "
+                            "into N key-hashed shards")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -255,7 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "dataflow", nargs="?", default="osaka",
-        help="'osaka' (Section 3 scenario) or a canvas JSON path",
+        help="'osaka' (Section 3 scenario), 'stations' (sharded "
+             "per-station averages), or a canvas JSON path",
     )
     metrics.add_argument("--hours", type=float, default=15.0,
                          help="virtual hours to simulate (default 15)")
@@ -270,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batch up to N tuples per source message")
     metrics.add_argument("--max-delay", type=float, default=1.0, metavar="S",
                          help="flush a partial batch after S virtual seconds")
+    metrics.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="split each partitionable blocking operator "
+                              "into N key-hashed shards")
     metrics.set_defaults(func=_cmd_metrics)
     return parser
 

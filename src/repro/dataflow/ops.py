@@ -79,6 +79,15 @@ class OperatorSpec:
         """JSON-serializable parameter dict (without the kind tag)."""
         raise NotImplementedError
 
+    def partition_keys(self) -> "tuple[str, ...] | None":
+        """Key attributes a sharded deployment partitions on, or None.
+
+        None means the operator cannot be sharded: it is non-blocking, or
+        blocking without a key the partitioner could split the tuple
+        space on (an ungrouped aggregation, a join with no equi-conjunct).
+        """
+        return None
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, **self.params()}
 
@@ -324,6 +333,12 @@ class AggregationSpec(OperatorSpec):
             window=self.window,
         )
 
+    def partition_keys(self) -> "tuple[str, ...] | None":
+        # Grouped windows shard cleanly: a group lives wholly on the
+        # shard that owns its key.  Ungrouped aggregation is one global
+        # group and cannot be split.
+        return (self.group_by,) if self.group_by is not None else None
+
     def params(self) -> dict:
         return {
             "interval": self.interval,
@@ -360,6 +375,14 @@ class JoinSpec(OperatorSpec):
             left_prefix=self.left_prefix,
             right_prefix=self.right_prefix,
         )
+
+    def partition_keys(self) -> "tuple[str, ...] | None":
+        # The first equi-conjunct is the partition key pair (left attr
+        # for port 0, right attr for port 1).  Any matching pair
+        # satisfies *every* equi-conjunct, the first included, so both
+        # sides of a match always hash to the same shard.
+        equi = self.build_operator().equi_keys  # type: ignore[attr-defined]
+        return (equi[0][0], equi[0][1]) if equi else None
 
     def params(self) -> dict:
         return {

@@ -104,6 +104,28 @@ class DsnChannel:
 
 
 @dataclass(frozen=True)
+class DsnShard:
+    """A scale-out directive: deploy a blocking operator as N replicas.
+
+    Deployment metadata, not dataflow semantics — the conceptual flow is
+    unchanged; the executor fans the service out into ``count`` shard
+    processes partitioned on ``keys`` (one attribute for a group-by
+    aggregation; the left and right equi-join attributes for a join) plus
+    a merge stage.  ``count=1`` is legal and means "no fan-out".
+    """
+
+    service: str
+    count: int
+    keys: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        line = f'  shard "{self.service}" {self.count}'
+        if self.keys:
+            line += " by " + ", ".join(f'"{key}"' for key in self.keys)
+        return line + ";"
+
+
+@dataclass(frozen=True)
 class DsnControl:
     """A control edge: a trigger service governing a source service."""
 
@@ -122,6 +144,7 @@ class DsnProgram:
     services: list[DsnService] = field(default_factory=list)
     channels: list[DsnChannel] = field(default_factory=list)
     controls: list[DsnControl] = field(default_factory=list)
+    shards: list[DsnShard] = field(default_factory=list)
 
     def service(self, name: str) -> DsnService:
         for service in self.services:
@@ -158,6 +181,26 @@ class DsnProgram:
                     raise DsnError(
                         f"control references undeclared service {endpoint!r}"
                     )
+        sharded = set()
+        for shard in self.shards:
+            if shard.service not in names:
+                raise DsnError(
+                    f"shard references undeclared service {shard.service!r}"
+                )
+            if self.service(shard.service).role is not ServiceRole.OPERATOR:
+                raise DsnError(
+                    f"shard target {shard.service!r} is not an operator"
+                )
+            if shard.count < 1:
+                raise DsnError(
+                    f"shard count for {shard.service!r} must be >= 1, "
+                    f"got {shard.count}"
+                )
+            if shard.service in sharded:
+                raise DsnError(
+                    f"duplicate shard directive for {shard.service!r}"
+                )
+            sharded.add(shard.service)
 
     def render(self) -> str:
         """The canonical textual form (stable: services/edges in order)."""
@@ -168,5 +211,9 @@ class DsnProgram:
             lines.append(channel.render())
         for control in self.controls:
             lines.append(control.render())
+        # Shards render last so shard-free programs (and their golden
+        # files) keep the historical textual form.
+        for shard in self.shards:
+            lines.append(shard.render())
         lines.append("}")
         return "\n".join(lines) + "\n"

@@ -11,7 +11,15 @@ from __future__ import annotations
 from repro.dataflow.graph import Dataflow
 from repro.dataflow.serialize import _filter_to_dict
 from repro.dataflow.validate import validate_dataflow
-from repro.dsn.ast import DsnChannel, DsnControl, DsnProgram, DsnService, ServiceRole
+from repro.dsn.ast import (
+    DsnChannel,
+    DsnControl,
+    DsnProgram,
+    DsnService,
+    DsnShard,
+    ServiceRole,
+)
+from repro.errors import DataflowError
 from repro.pubsub.registry import SensorRegistry
 
 
@@ -21,6 +29,7 @@ def dataflow_to_dsn(
     validate: bool = True,
     batch_delay: "float | None" = None,
     max_batch: int = 32,
+    shards: "int | dict[str, int] | None" = None,
 ) -> DsnProgram:
     """Translate a (consistent) dataflow into its DSN program.
 
@@ -38,6 +47,13 @@ def dataflow_to_dsn(
             [1, ``max_batch``].  ``None`` (the default) emits no hints, so
             existing programs render unchanged.
         max_batch: upper clamp for derived batch hints.
+        shards: scale-out directives for blocking operators.  An int
+            applies to every *shardable* operator (one with partition
+            keys — grouped aggregation, equi-join); operators that cannot
+            shard are silently left alone.  A dict maps specific service
+            names to shard counts and raises :class:`DataflowError` for a
+            service that cannot honour it.  ``None`` emits no shard
+            clauses, so existing programs render unchanged.
     """
     if validate:
         validate_dataflow(flow, registry).raise_if_invalid()
@@ -102,6 +118,32 @@ def dataflow_to_dsn(
         program.controls.append(
             DsnControl(trigger=edge.trigger_id, source=edge.source_id)
         )
+
+    if shards is not None:
+        requested = (
+            shards if isinstance(shards, dict)
+            else {name: shards for name in flow.operators}
+        )
+        explicit = isinstance(shards, dict)
+        for name in sorted(requested):
+            count = requested[name]
+            node = flow.operators.get(name)
+            if node is None:
+                raise DataflowError(
+                    f"shards requested for unknown operator {name!r}"
+                )
+            keys = node.spec.partition_keys()
+            if keys is None:
+                if explicit:
+                    raise DataflowError(
+                        f"operator {name!r} ({node.spec.kind}) cannot be "
+                        "sharded: it has no partition key"
+                    )
+                continue  # blanket request skips unshardable operators
+            if count > 1:
+                program.shards.append(
+                    DsnShard(service=name, count=count, keys=keys)
+                )
 
     program.check()
     return program

@@ -13,7 +13,14 @@ import json
 import re
 
 from repro.errors import DsnParseError
-from repro.dsn.ast import DsnChannel, DsnControl, DsnProgram, DsnService, ServiceRole
+from repro.dsn.ast import (
+    DsnChannel,
+    DsnControl,
+    DsnProgram,
+    DsnService,
+    DsnShard,
+    ServiceRole,
+)
 from repro.network.qos import QosPolicy
 
 _HEADER_RE = re.compile(r'^dsn\s+"((?:[^"\\]|\\.)*)"\s*\{$')
@@ -33,6 +40,11 @@ _CHANNEL_RE = re.compile(
 _CONTROL_RE = re.compile(
     r'^control\s+"((?:[^"\\]|\\.)*)"\s*->\s*"((?:[^"\\]|\\.)*)";$'
 )
+_SHARD_RE = re.compile(
+    r'^shard\s+"((?:[^"\\]|\\.)*)"\s+(\d+)'
+    r'(?:\s+by\s+("(?:[^"\\]|\\.)*"(?:\s*,\s*"(?:[^"\\]|\\.)*")*))?;$'
+)
+_SHARD_KEY_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 
 def _unescape(text: str) -> str:
@@ -132,6 +144,20 @@ def parse_dsn(text: str) -> DsnProgram:
                 DsnControl(
                     trigger=_unescape(match.group(1)),
                     source=_unescape(match.group(2)),
+                )
+            )
+            continue
+        match = _SHARD_RE.match(line)
+        if match:
+            keys_text = match.group(3) or ""
+            program.shards.append(
+                DsnShard(
+                    service=_unescape(match.group(1)),
+                    count=int(match.group(2)),
+                    keys=tuple(
+                        _unescape(key)
+                        for key in _SHARD_KEY_RE.findall(keys_text)
+                    ),
                 )
             )
             continue

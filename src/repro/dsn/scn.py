@@ -203,6 +203,91 @@ class ScnController:
             )
         return decision
 
+    def place_shards(
+        self,
+        service_name: str,
+        count: int,
+        upstream_nodes: list[str],
+        demand: float,
+        projected: "dict[str, float] | None" = None,
+        avoid: "set[str] | None" = None,
+    ) -> list[PlacementDecision]:
+        """Place ``count`` shard replicas of one service, spread out.
+
+        Each shard gets the same scoring as :meth:`_score_nodes` but the
+        pool excludes nodes already holding an earlier shard of the same
+        service (falling back to reuse only when ``count`` exceeds the
+        number of distinct live nodes) — co-locating shards would erase
+        the parallelism sharding exists to buy.  ``demand`` is the
+        per-shard load estimate.  Raises :class:`PlacementError` when no
+        live node remains or every candidate is capacity-exhausted.
+        """
+        projected = dict(projected or {})
+        pool = [
+            node
+            for node in self.topology.live_nodes()
+            if not avoid or node.node_id not in avoid
+        ]
+        if not pool:
+            raise PlacementError(
+                f"no live nodes to place shards of {service_name!r}"
+            )
+        decisions: list[PlacementDecision] = []
+        used: set[str] = set()
+        for index in range(count):
+            candidates = [node for node in pool if node.node_id not in used]
+            if not candidates:
+                # More shards than nodes: start packing.
+                candidates = pool
+            eligible = [
+                node
+                for node in candidates
+                if (node.load + projected.get(node.node_id, 0.0) + demand)
+                <= node.capacity
+            ]
+            if not eligible:
+                raise PlacementError(
+                    f"capacity exhausted placing shard {index} of "
+                    f"{service_name!r}: no candidate node can absorb "
+                    f"demand {demand:g}"
+                )
+            best: "tuple[float, str] | None" = None
+            for node in sorted(eligible, key=lambda n: n.node_id):
+                load = node.load + projected.get(node.node_id, 0.0) + demand
+                utilization = load / node.capacity
+                distance = 0.0
+                for upstream in upstream_nodes:
+                    try:
+                        distance += self.topology.route_latency(
+                            upstream, node.node_id
+                        )
+                    except Exception:
+                        distance += 10.0
+                score = (self.load_weight * utilization
+                         + self.distance_weight * distance)
+                if best is None or score < best[0]:
+                    best = (score, node.node_id)
+            assert best is not None
+            score, node_id = best
+            decision = PlacementDecision(
+                service=f"{service_name}#{index}",
+                node_id=node_id,
+                score=score,
+                reason=f"shard {index}/{count}, spread over live nodes",
+            )
+            decisions.append(decision)
+            used.add(node_id)
+            projected[node_id] = projected.get(node_id, 0.0) + demand
+            if self.tracer is not None:
+                self.tracer.event(
+                    "placement",
+                    service=decision.service,
+                    node=decision.node_id,
+                    score=decision.score,
+                    reason=decision.reason,
+                )
+        return decisions
+
     def _score_nodes(
         self,
         service: DsnService,

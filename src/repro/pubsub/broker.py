@@ -26,6 +26,7 @@ from typing import Callable
 from repro.errors import PubSubError, UnknownSensorError
 from repro.network.netsim import NetworkSimulator
 from repro.obs.lineage import tuple_key
+from repro.pubsub.partition import ShardRouter
 from repro.pubsub.registry import SensorMetadata, SensorRegistry
 from repro.pubsub.subscription import Subscription, SubscriptionFilter
 from repro.streams.tuple import (
@@ -126,8 +127,11 @@ class BrokerNetwork:
         #: the hot-path counter instruments.
         self.obs = obs
         self._brokers: dict[str, Broker] = {}
-        #: sensor_id -> matching subscriptions (rebuilt on membership change).
-        self._routes: dict[str, list[Subscription]] = {}
+        #: sensor_id -> matching route entries.  An entry is either a
+        #: plain :class:`Subscription` or a :class:`ShardRouter` standing
+        #: in for its member subscriptions (one entry per router, however
+        #: many shards it fans to).
+        self._routes: dict[str, "list[Subscription | ShardRouter]"] = {}
         self.on_sensor_published: "Callable[[SensorMetadata], None] | None" = None
         self.on_sensor_unpublished: "Callable[[SensorMetadata], None] | None" = None
         #: Called with (subscription, tuple, reason) when retries exhaust.
@@ -249,8 +253,58 @@ class BrokerNetwork:
                 self._routes.setdefault(metadata.sensor_id, []).append(subscription)
         return subscription
 
+    def subscribe_sharded(
+        self,
+        node_ids: "list[str]",
+        filter_: SubscriptionFilter,
+        callbacks: "list[Callable[[SensorTuple], None]]",
+        keys: "tuple[str, ...]",
+        batch_callbacks: "list | None" = None,
+    ) -> ShardRouter:
+        """Create N member subscriptions routed through one ShardRouter.
+
+        Each member is homed on its shard's node (and registered with that
+        node's broker, so per-node bookkeeping is unchanged), but the
+        routing tables carry the *router*: per published tuple exactly one
+        member — the shard owning the tuple's key — receives it.
+        """
+        if len(node_ids) != len(callbacks):
+            raise PubSubError(
+                f"sharded subscribe needs one callback per node: "
+                f"{len(node_ids)} nodes, {len(callbacks)} callbacks"
+            )
+        members: list[Subscription] = []
+        for index, (node_id, callback) in enumerate(zip(node_ids, callbacks)):
+            subscription = Subscription(
+                filter=filter_, callback=callback, node_id=node_id
+            )
+            if batch_callbacks is not None:
+                subscription.batch_callback = batch_callbacks[index]
+            self.broker(node_id).add_subscription(subscription)
+            members.append(subscription)
+        router = ShardRouter(members, keys)
+        for metadata in self.registry.all():
+            if filter_.matches(metadata):
+                self._routes.setdefault(metadata.sensor_id, []).append(router)
+        return router
+
     def unsubscribe(self, subscription: Subscription) -> None:
         self.broker(subscription.node_id).remove_subscription(subscription)
+        router = subscription.router
+        if router is not None:
+            # Removing a member narrows the router; the routing entry
+            # disappears with its last member.  (Shard membership only
+            # changes wholesale at teardown — partial removal would remap
+            # the key space.)
+            router.members.remove(subscription)
+            subscription.router = None
+            if not router.members:
+                for matches in self._routes.values():
+                    try:
+                        matches.remove(router)
+                    except ValueError:
+                        pass
+            return
         # Incremental: drop just this subscription from the routes it is on.
         for matches in self._routes.values():
             try:
@@ -259,19 +313,38 @@ class BrokerNetwork:
                 pass
 
     def subscriptions_for(self, sensor_id: str) -> list[Subscription]:
-        """The subscriptions a sensor's data is currently routed to."""
+        """The subscriptions a sensor's data is currently routed to.
+
+        Router entries are expanded to their member subscriptions — the
+        callers of this API reason about subscriptions, not routing
+        furniture.
+        """
         if sensor_id not in self.registry:
             raise UnknownSensorError(f"unknown sensor {sensor_id!r}")
-        return list(self._routes.get(sensor_id, ()))
+        out: list[Subscription] = []
+        for entry in self._routes.get(sensor_id, ()):
+            if isinstance(entry, ShardRouter):
+                out.extend(entry.members)
+            else:
+                out.append(entry)
+        return out
 
     def _rebuild_routes_for(self, sensor_id: str) -> None:
         metadata = self.registry.get(sensor_id)
-        matches = [
-            subscription
-            for broker in self._brokers.values()
-            for subscription in broker.subscriptions
-            if subscription.filter.matches(metadata)
-        ]
+        matches: "list[Subscription | ShardRouter]" = []
+        seen_routers: set[int] = set()
+        for broker in self._brokers.values():
+            for subscription in broker.subscriptions:
+                if not subscription.filter.matches(metadata):
+                    continue
+                router = subscription.router
+                if router is None:
+                    matches.append(subscription)
+                elif id(router) not in seen_routers:
+                    # A sharded consumer appears once, as its router —
+                    # member-by-member entries would deliver N copies.
+                    seen_routers.add(id(router))
+                    matches.append(router)
         self._routes[sensor_id] = matches
 
     def _rebuild_all_routes(self) -> None:
@@ -305,7 +378,12 @@ class BrokerNetwork:
         if self.obs is not None:
             tuple_ = self._observe_publish(metadata, tuple_)
         initiated = 0
-        for subscription in self._routes.get(sensor_id, ()):
+        for entry in self._routes.get(sensor_id, ()):
+            if isinstance(entry, ShardRouter):
+                # Key-hashed delivery: exactly one shard owns this tuple.
+                subscription = entry.member_for(tuple_)
+            else:
+                subscription = entry
             if not subscription.active:
                 subscription.suppressed += 1
                 self.data_messages_suppressed += 1
@@ -341,7 +419,26 @@ class BrokerNetwork:
             batch = self._observe_publish_batch(metadata, batch)
         count = len(batch)
         initiated = 0
-        for subscription in self._routes.get(sensor_id, ()):
+        for entry in self._routes.get(sensor_id, ()):
+            if isinstance(entry, ShardRouter):
+                # Split once per (router, batch); members receive their
+                # key-owned sub-batches in arrival order.
+                for member, sub_batch in entry.split_batch(batch):
+                    member_count = len(sub_batch)
+                    if not member.active:
+                        member.suppressed += member_count
+                        self.data_messages_suppressed += 1
+                        self.data_tuples_suppressed += member_count
+                        continue
+                    self.data_messages_sent += 1
+                    self.data_tuples_sent += member_count
+                    initiated += 1
+                    if self.netsim is None:
+                        member.deliver_batch(sub_batch)
+                        continue
+                    self._transmit_batch(metadata, member, sub_batch, attempt=0)
+                continue
+            subscription = entry
             if not subscription.active:
                 subscription.suppressed += count
                 self.data_messages_suppressed += 1

@@ -1,0 +1,65 @@
+"""Key-hash partitioning router for sharded subscribers.
+
+When a blocking operator is deployed as N shards, its source-side input
+is no longer one subscription but N — one per shard process, each on its
+own node.  A :class:`ShardRouter` stands in the broker's routing tables
+where the single subscription would have been and resolves, per tuple,
+*which* member subscription receives it: the one whose shard owns the
+tuple's key under :func:`repro.streams.shard.partition_index`.
+
+The router is routing-table furniture, not a subscription: it has no
+delivery counters of its own (the members keep theirs, so pause/resume
+and dead-letter accounting are unchanged), and the broker treats a
+resolved member exactly like any directly-routed subscription.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pubsub.subscription import Subscription
+from repro.streams.shard import partition_index
+from repro.streams.tuple import SensorTuple, TupleBatch
+
+
+class ShardRouter:
+    """Routes each tuple of a stream to one of N member subscriptions."""
+
+    __slots__ = ("members", "keys")
+
+    def __init__(
+        self, members: "Sequence[Subscription]", keys: "Sequence[str]"
+    ) -> None:
+        self.members: list[Subscription] = list(members)
+        self.keys = tuple(keys)
+        for member in self.members:
+            member.router = self
+
+    @property
+    def filter(self):
+        """Members share one filter; expose it for route (re)building."""
+        return self.members[0].filter
+
+    def member_for(self, tuple_: SensorTuple) -> Subscription:
+        values = tuple(tuple_.get(key) for key in self.keys)
+        return self.members[partition_index(values, len(self.members))]
+
+    def split_batch(
+        self, batch: TupleBatch
+    ) -> "list[tuple[Subscription, TupleBatch]]":
+        """Partition a batch into per-member sub-batches.
+
+        Arrival order is preserved inside each sub-batch, and members are
+        visited in shard order — both deterministic, so batched delivery
+        through a router stays parity-equal to tuple-at-a-time delivery.
+        """
+        count = len(self.members)
+        keys = self.keys
+        buckets: dict[int, list[SensorTuple]] = {}
+        for tuple_ in batch:
+            values = tuple(tuple_.get(key) for key in keys)
+            buckets.setdefault(partition_index(values, count), []).append(tuple_)
+        return [
+            (self.members[index], batch.with_tuples(buckets[index]))
+            for index in sorted(buckets)
+        ]

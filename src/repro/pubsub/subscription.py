@@ -108,6 +108,11 @@ class Subscription:
     #: (the executor points this at ``OperatorProcess.receive_batch``);
     #: when ``None``, batches are unrolled through ``callback`` per tuple.
     batch_callback: "Callable[[object], None] | None" = None
+    #: The :class:`~repro.pubsub.partition.ShardRouter` this subscription
+    #: is a member of, if any.  Member subscriptions never appear in the
+    #: broker's routing tables directly — the router does, and picks one
+    #: member per tuple by key hash.
+    router: "object | None" = None
     active: bool = True
     subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
     delivered: int = 0

@@ -41,6 +41,7 @@ from repro.pubsub.subscription import Subscription
 from repro.runtime.lifecycle import DeploymentState
 from repro.runtime.monitor import Monitor
 from repro.runtime.process import OperatorProcess
+from repro.runtime.sharding import ShardGroup
 from repro.streams.base import ControlCommand
 from repro.streams.sink import CallbackSink, ListSink
 from repro.streams.tuple import SensorTuple
@@ -82,6 +83,11 @@ class Deployment:
         self.flow = flow
         self.executor = executor
         self.processes: dict[str, OperatorProcess] = {}
+        #: conceptual service name -> its shard group (sharded blocking
+        #: operators only).  The member processes also appear in
+        #: :attr:`processes` under ``"<service>#<index>"`` keys and the
+        #: merge stage under ``"<service>#merge"``.
+        self.shard_groups: dict[str, ShardGroup] = {}
         self.bindings: dict[str, _SourceBinding] = {}
         self.placements: dict[str, PlacementDecision] = {}
         self.collectors: dict[str, ListSink] = {}
@@ -340,11 +346,24 @@ class Executor:
 
     # -- deployment --------------------------------------------------------------
 
-    def deploy(self, flow_or_program: "Dataflow | DsnProgram") -> Deployment:
-        """Translate (if needed), place, spawn, wire, and start a dataflow."""
+    def deploy(
+        self,
+        flow_or_program: "Dataflow | DsnProgram",
+        shards: "int | dict[str, int] | None" = None,
+    ) -> Deployment:
+        """Translate (if needed), place, spawn, wire, and start a dataflow.
+
+        ``shards`` requests key-partitioned scale-out for blocking
+        operators when translating a conceptual dataflow (see
+        :func:`repro.dsn.generate.dataflow_to_dsn`).  A DSN program passed
+        directly already carries its ``shard`` clauses, so ``shards`` is
+        only honoured for :class:`Dataflow` input.
+        """
         if isinstance(flow_or_program, Dataflow):
             flow = flow_or_program
-            program = dataflow_to_dsn(flow, self.broker_network.registry)
+            program = dataflow_to_dsn(
+                flow, self.broker_network.registry, shards=shards
+            )
         else:
             flow = None
             program = flow_or_program
@@ -366,6 +385,11 @@ class Executor:
         # Spawn processes for operators and sinks.
         from repro.dsn.scn import _filter_from_params
 
+        shard_specs = {
+            shard.service: shard
+            for shard in program.shards
+            if shard.count > 1
+        }
         for service in program.services:
             if service.role is ServiceRole.SOURCE:
                 sensors = sensor_bindings[service.name]
@@ -374,6 +398,19 @@ class Executor:
                     sensors=sensors,
                     filter=_filter_from_params(service.params),
                     initial_count=len(sensors),
+                )
+                continue
+            if (
+                service.role is ServiceRole.OPERATOR
+                and service.name in shard_specs
+            ):
+                self._spawn_sharded(
+                    deployment,
+                    service,
+                    shard_specs[service.name],
+                    placements,
+                    sensor_bindings,
+                    demands,
                 )
                 continue
             operator = self._build_runtime(service, deployment)
@@ -386,7 +423,7 @@ class Executor:
                 netsim=self.netsim,
                 obs=self.obs,
             )
-            if operator.is_blocking:
+            if operator.checkpointable:
                 process.enable_checkpoints(self.checkpoint_interval)
             node = self.netsim.topology.node(process.node_id)
             node.update_demand(process.process_id, demands.get(service.name, 0.0))
@@ -394,8 +431,26 @@ class Executor:
 
         # Wire channels.
         for channel in program.channels:
-            target = deployment.processes[channel.target]
             qos = program.service(channel.target).qos
+            if channel.target in deployment.shard_groups:
+                # Deliveries into a sharded operator are key-partitioned
+                # across its member processes.
+                group = deployment.shard_groups[channel.target]
+                if channel.source in deployment.bindings:
+                    self._bind_source_sharded(
+                        deployment, channel.source, group, channel.port
+                    )
+                    if channel.batch > 1:
+                        deployment.batch_hints[channel.source] = max(
+                            deployment.batch_hints.get(channel.source, 1),
+                            channel.batch,
+                        )
+                else:
+                    self._outgoing_process(deployment, channel.source).add_route(
+                        group, port=channel.port, qos=qos
+                    )
+                continue
+            target = deployment.processes[channel.target]
             if channel.source in deployment.bindings:
                 self._bind_source(deployment, channel.source, target, channel.port)
                 if channel.batch > 1:
@@ -404,7 +459,7 @@ class Executor:
                         channel.batch,
                     )
             else:
-                deployment.processes[channel.source].add_route(
+                self._outgoing_process(deployment, channel.source).add_route(
                     target, port=channel.port, qos=qos
                 )
 
@@ -482,6 +537,163 @@ class Executor:
             subscription.pause()
         deployment.bindings[service_name].subscriptions.append(subscription)
         deployment._sub_targets[subscription.subscription_id] = target
+
+    # -- sharded operators -------------------------------------------------------
+
+    def _outgoing_process(
+        self, deployment: Deployment, service_name: str
+    ) -> OperatorProcess:
+        """The process that emits a service's output downstream.
+
+        For a sharded service that is its merge stage (shards feed the
+        merge, the merge feeds the rest of the flow); otherwise the
+        service's own process.
+        """
+        group = deployment.shard_groups.get(service_name)
+        if group is not None:
+            assert group.merge is not None
+            return group.merge
+        return deployment.processes[service_name]
+
+    def _spawn_sharded(
+        self,
+        deployment: Deployment,
+        service,
+        shard,
+        placements: dict[str, PlacementDecision],
+        sensor_bindings: dict[str, list[SensorMetadata]],
+        demands: dict[str, float],
+    ) -> None:
+        """Spawn one blocking operator as N key-partitioned shard replicas.
+
+        Each shard is a full copy of the operator wrapped in a
+        :class:`~repro.streams.shard.ShardedOperatorAdapter` (so flushes
+        travel as ordered envelopes), placed on its own node through
+        :meth:`ScnController.place_shards`.  A
+        :class:`~repro.streams.shard.ShardMergeOperator` on the service's
+        conceptual placement node re-establishes the unsharded per-flush
+        order before anything flows downstream.
+        """
+        from repro.dataflow.ops import spec_from_dict
+        from repro.streams.shard import ShardedOperatorAdapter, ShardMergeOperator
+
+        program = deployment.program
+        count = shard.count
+        #: the conceptual demand splits across the replicas.
+        demand = demands.get(service.name, 0.0) / count
+        upstream_nodes: list[str] = []
+        for channel in program.channels_into(service.name):
+            if channel.source in sensor_bindings:
+                upstream_nodes.extend(
+                    sorted({m.node_id for m in sensor_bindings[channel.source]})
+                )
+            elif channel.source in placements:
+                upstream_nodes.append(placements[channel.source].node_id)
+        decisions = self.scn.place_shards(
+            service.name, count, upstream_nodes, demand
+        )
+
+        spec = spec_from_dict({"kind": service.kind, **service.params})
+        members: list[OperatorProcess] = []
+        for index in range(count):
+            inner = spec.build_operator()
+            adapter = ShardedOperatorAdapter(
+                inner, shard_index=index, shard_count=count
+            )
+            if self.obs is not None:
+                adapter.lineage = self.obs.lineage
+            process = OperatorProcess(
+                process_id=f"{program.name}:{service.name}#{index}",
+                operator=adapter,
+                node_id=decisions[index].node_id,
+                netsim=self.netsim,
+                obs=self.obs,
+            )
+            if adapter.checkpointable:
+                process.enable_checkpoints(self.checkpoint_interval)
+            node = self.netsim.topology.node(process.node_id)
+            node.update_demand(process.process_id, demand)
+            key = f"{service.name}#{index}"
+            deployment.processes[key] = process
+            deployment.placements[key] = decisions[index]
+            members.append(process)
+
+        mode = "aggregate" if service.kind == "aggregation" else "join"
+        merge = ShardMergeOperator(
+            count, mode, name=f"{service.name}-merge"
+        )
+        if self.obs is not None:
+            merge.bind_obs(self.obs.metrics, service.name)
+            merge.lineage = self.obs.lineage
+        merge_process = OperatorProcess(
+            process_id=f"{program.name}:{service.name}#merge",
+            operator=merge,
+            node_id=placements[service.name].node_id,
+            netsim=self.netsim,
+            obs=self.obs,
+        )
+        if merge.checkpointable:
+            merge_process.enable_checkpoints(self.checkpoint_interval)
+        node = self.netsim.topology.node(merge_process.node_id)
+        node.update_demand(merge_process.process_id, demand)
+        merge_key = f"{service.name}#merge"
+        deployment.processes[merge_key] = merge_process
+        deployment.placements[merge_key] = placements[service.name]
+
+        if service.kind == "join" and len(shard.keys) >= 2:
+            keys_by_port: tuple[tuple[str, ...], ...] = tuple(
+                (key,) for key in shard.keys
+            )
+        else:
+            keys_by_port = (tuple(shard.keys),)
+        for member in members:
+            member.add_route(merge_process, port=0, qos=service.qos)
+        deployment.shard_groups[service.name] = ShardGroup(
+            service=service.name,
+            members=members,
+            keys_by_port=keys_by_port,
+            merge=merge_process,
+        )
+
+    def _bind_source_sharded(
+        self,
+        deployment: Deployment,
+        service_name: str,
+        group: ShardGroup,
+        port: int,
+    ) -> None:
+        """Subscribe a shard group to the source's sensors.
+
+        One subscription per shard, all on the shard's own node, joined
+        into a :class:`~repro.pubsub.partition.ShardRouter` so the broker
+        hashes each published tuple to exactly one member.
+        """
+        service = deployment.program.service(service_name)
+        from repro.dsn.scn import _filter_from_params
+
+        filter_ = _filter_from_params(service.params)
+        callbacks = [
+            (lambda tuple_, m=member, p=port: m.receive(tuple_, port=p))
+            for member in group.members
+        ]
+        batch_callbacks = [
+            (lambda batch, m=member, p=port: m.receive_batch(batch, port=p))
+            for member in group.members
+        ]
+        router = self.broker_network.subscribe_sharded(
+            node_ids=[member.node_id for member in group.members],
+            filter_=filter_,
+            callbacks=callbacks,
+            keys=group.keys_for_port(port),
+            batch_callbacks=batch_callbacks,
+        )
+        active = service.params.get("active", True)
+        binding = deployment.bindings[service_name]
+        for member_sub, member in zip(router.members, group.members):
+            if not active:
+                member_sub.pause()
+            binding.subscriptions.append(member_sub)
+            deployment._sub_targets[member_sub.subscription_id] = member
 
     # -- rebalancing -------------------------------------------------------------
 
@@ -567,9 +779,12 @@ class Executor:
             and not self.netsim.topology.node(node_id).up
         ]
         for name, process in displaced:
+            # Shard and merge processes are keyed "<service>#<suffix>" but
+            # the program's channels name the conceptual service.
+            base = name.split("#", 1)[0]
             upstream_nodes = [
                 deployment.placements[channel.source].node_id
-                for channel in deployment.program.channels_into(name)
+                for channel in deployment.program.channels_into(base)
                 if channel.source in deployment.placements
             ]
             demand = process.rate.rate * process.operator.cost_per_tuple

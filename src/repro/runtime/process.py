@@ -33,6 +33,7 @@ from repro.errors import DeploymentError
 from repro.network.netsim import NetworkSimulator
 from repro.network.qos import QosPolicy
 from repro.obs.lineage import tuple_key
+from repro.runtime.sharding import ShardGroup
 from repro.runtime.stats import RateEstimator
 from repro.streams.base import Operator
 from repro.streams.tuple import (
@@ -45,9 +46,14 @@ from repro.streams.tuple import (
 
 @dataclass(frozen=True)
 class Route:
-    """One downstream destination of a process's output."""
+    """One downstream destination of a process's output.
 
-    target: "OperatorProcess"
+    ``target`` is usually a single process; for a sharded consumer it is
+    the whole :class:`~repro.runtime.sharding.ShardGroup`, and the
+    forwarding layer resolves the owning member per tuple by key hash.
+    """
+
+    target: "OperatorProcess | ShardGroup"
     port: int = 0
     qos: "QosPolicy | None" = None
 
@@ -102,7 +108,7 @@ class OperatorProcess:
 
     # -- wiring ------------------------------------------------------------
 
-    def add_route(self, target: "OperatorProcess", port: int = 0,
+    def add_route(self, target: "OperatorProcess | ShardGroup", port: int = 0,
                   qos: "QosPolicy | None" = None) -> None:
         self.routes.append(Route(target=target, port=port, qos=qos))
 
@@ -319,13 +325,16 @@ class OperatorProcess:
 
     def _forward(self, tuple_: SensorTuple) -> None:
         for route in self.routes:
+            target = route.target
+            if isinstance(target, ShardGroup):
+                target = target.member_for(tuple_, route.port)
             self.netsim.send(
                 source=self.node_id,
-                target=route.target.node_id,
+                target=target.node_id,
                 payload=tuple_,
                 size_bytes=estimate_size_bytes(tuple_),
-                on_delivery=lambda payload, r=route: r.target.receive(
-                    payload, port=r.port
+                on_delivery=lambda payload, t=target, p=route.port: t.receive(
+                    payload, port=p
                 ),
                 qos=route.qos,
             )
@@ -333,9 +342,25 @@ class OperatorProcess:
     def _forward_batch(self, emitted: "list[SensorTuple]") -> None:
         if not self.routes:
             return
-        batch = TupleBatch.of(emitted)
-        size = estimate_batch_size_bytes(batch)
+        batch: "TupleBatch | None" = None
+        size = 0
         for route in self.routes:
+            if isinstance(route.target, ShardGroup):
+                # Per-member sub-batches; order is preserved inside each.
+                for member, sub_batch in route.target.split(emitted, route.port):
+                    self.netsim.send_batch(
+                        source=self.node_id,
+                        target=member.node_id,
+                        batch=sub_batch,
+                        size_bytes=estimate_batch_size_bytes(sub_batch),
+                        on_delivery=lambda payload, t=member, p=route.port:
+                            t.receive_batch(payload, port=p),
+                        qos=route.qos,
+                    )
+                continue
+            if batch is None:
+                batch = TupleBatch.of(emitted)
+                size = estimate_batch_size_bytes(batch)
             self.netsim.send_batch(
                 source=self.node_id,
                 target=route.target.node_id,

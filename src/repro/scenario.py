@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dataflow.graph import Dataflow
-from repro.dataflow.ops import FilterSpec, TriggerOnSpec
+from repro.dataflow.ops import AggregationSpec, FilterSpec, TriggerOnSpec
 from repro.dsn.scn import ScnController
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
@@ -154,6 +154,42 @@ def apply_batch_hints(
             )
             configured += 1
     return configured
+
+
+def sharded_aggregation_flow(
+    stack: Stack,
+    interval: float = 300.0,
+    function: str = "AVG",
+) -> Dataflow:
+    """A scale-out scenario: per-station temperature averages.
+
+    The simplest flow that exercises key-partitioned sharding: every
+    physical sensor stamps its readings with a ``station`` attribute, and
+    a grouped aggregation over it partitions cleanly (each station's
+    groups live on exactly one shard).  Deploy with
+    ``stack.executor.deploy(flow, shards=N)`` to split the aggregation
+    into N replicas; the DSN program gains a
+    ``shard "station-avg" N by "station";`` clause and the merge stage
+    re-establishes the unsharded flush order downstream.
+    """
+    del stack  # symmetry with osaka_scenario_flow; the flow needs no fleet info
+    flow = Dataflow("station-averages")
+    temp = flow.add_source(
+        SubscriptionFilter(sensor_type="temperature"), node_id="temperature"
+    )
+    averages = flow.add_operator(
+        AggregationSpec(
+            interval=interval,
+            attributes=("temperature",),
+            function=function,
+            group_by="station",
+        ),
+        node_id="station-avg",
+    )
+    sink = flow.add_sink("collector", node_id="averages")
+    flow.connect(temp, averages)
+    flow.connect(averages, sink)
+    return flow
 
 
 def osaka_scenario_flow(

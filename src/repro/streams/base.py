@@ -91,6 +91,16 @@ class Operator:
     def is_blocking(self) -> bool:
         return self.interval is not None
 
+    @property
+    def checkpointable(self) -> bool:
+        """Whether the runtime should snapshot this operator periodically.
+
+        Defaults to :attr:`is_blocking` (non-blocking operators hold no
+        state across tuples); stateful-but-non-blocking operators (the
+        shard merge stage) override this to True.
+        """
+        return self.is_blocking
+
     def on_tuple(self, tuple_: SensorTuple, port: int = 0) -> list[SensorTuple]:
         """Feed one tuple into the given input port; returns emissions."""
         if not (0 <= port < self.input_ports):

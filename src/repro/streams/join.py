@@ -91,6 +91,10 @@ class JoinOperator(BlockingOperator):
         self.hash_join = hash_join
         #: [(left_attr, right_attr)] equi-conjuncts found in the predicate.
         self.equi_keys = self._extract_equi_keys(predicate.root)
+        #: When set (to a list) by a sharding adapter, every emitted pair's
+        #: source tuples are appended so the merge stage can order pairs
+        #: across shards without re-parsing composed ``source`` strings.
+        self._pair_log: "list[tuple[SensorTuple, SensorTuple]] | None" = None
 
     def _extract_equi_keys(self, root: Node) -> "list[tuple[str, str]]":
         """Equality conjuncts ``left.a == right.b`` in the top-level
@@ -274,6 +278,8 @@ class JoinOperator(BlockingOperator):
             source=f"{self.name}({lt.source}⋈{rt.source})",
             seq=seq,
         )
+        if self._pair_log is not None:
+            self._pair_log.append((lt, rt))
         if self.lineage is not None:
             self.lineage.record(out, (lt, rt), self.name, now)
         return out

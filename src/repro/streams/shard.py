@@ -1,0 +1,328 @@
+"""Sharding plane for blocking operators: partitioner, adapter, merge.
+
+The blocking operators (Aggregation, Join) cache every tuple of their
+window on one operator process, which caps their throughput at one node's
+capacity.  Sharding splits one *conceptual* blocking node into N replica
+processes, each holding the slice of the key space a deterministic hash
+partitioner assigns to it, plus one downstream **merge** stage that
+re-establishes the unsharded flush order before the consumer.  The
+conceptual dataflow the user designs is untouched — only the deployed
+DSN/SCN plan fans out (DESIGN.md §12).
+
+Three pieces live here:
+
+- :func:`partition_index` — the partitioner contract.  CRC32 over the
+  ``repr`` of the key values, modulo the shard count: deterministic
+  across processes and runs (``hash()`` is salted per interpreter via
+  ``PYTHONHASHSEED``, so it is exactly what this must *not* use).
+- :class:`ShardedOperatorAdapter` — wraps one shard's inner operator.
+  Tuples pass straight through to the inner operator; every timer firing
+  is converted into exactly one **envelope** tuple carrying the flush's
+  emissions tagged with per-entry order keys.  Empty flushes still emit
+  an (empty) envelope: the envelope doubles as the shard's punctuation,
+  telling the merge "shard k has flushed through virtual time T" —
+  without it an empty window would be indistinguishable from a slow
+  shard and the merge could never close an epoch.
+- :class:`ShardMergeOperator` — non-blocking but stateful: buffers
+  envelopes per flush epoch, closes an epoch once every shard's
+  punctuation has passed it, re-sorts the union of entries by order key
+  and renumbers ``seq`` exactly as the unsharded operator would have.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import CheckpointError, StreamLoaderError
+from repro.streams.base import Operator
+from repro.streams.join import JoinOperator
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+#: Envelope payload keys (the wire format between shard and merge).
+SHARD_KEY = "__shard__"
+EPOCH_KEY = "__epoch__"
+ENTRIES_KEY = "__entries__"
+
+#: Histogram buckets for the flush skew ratio (max/mean entries per
+#: shard); 1.0 is a perfectly balanced epoch, N is total collapse onto
+#: one of N shards.
+SKEW_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0)
+
+
+def partition_index(values: "tuple | Sequence", count: int) -> int:
+    """Deterministic shard index for a key-value tuple.
+
+    CRC32 of ``repr(values)`` mod ``count`` — stable across interpreter
+    restarts and machines (unlike builtin ``hash``), cheap, and
+    well-mixed for the string/number keys group-by and equi-join use.
+    """
+    return zlib.crc32(repr(tuple(values)).encode("utf-8")) % count
+
+
+def order_key_for_pair(lt: SensorTuple, rt: SensorTuple) -> tuple:
+    """Merge order key for one join output pair.
+
+    Unsharded join flushes are left-major in *arrival* order; arrival
+    order equals ``(stamp.time, source, seq)`` order whenever upstream
+    delivery is time-monotone (true on the zero-latency parity
+    topologies; the known limits are documented in DESIGN.md §12).
+    """
+    return (
+        (lt.stamp.time, lt.source, lt.seq),
+        (rt.stamp.time, rt.source, rt.seq),
+    )
+
+
+class ShardedOperatorAdapter(Operator):
+    """One shard of a blocking operator, speaking the envelope protocol.
+
+    Wraps the shard's ``inner`` operator (a fresh instance built from the
+    same spec as the conceptual node).  Tuple and batch input delegate
+    straight to the inner operator; the timer hook converts each flush
+    into one envelope for the merge stage.  ``stats`` and ``lineage``
+    are *delegating properties* so runtime bookkeeping (and checkpoint
+    restore, which swaps the inner stats object) sees one shared truth.
+    """
+
+    def __init__(self, inner: Operator, shard_index: int, shard_count: int) -> None:
+        if not inner.is_blocking:
+            raise StreamLoaderError(
+                f"{inner.name}: only blocking operators can be sharded"
+            )
+        # Set before super().__init__ — the base class assigns
+        # self.stats/self.lineage, which the delegating properties below
+        # forward to the inner operator.
+        self.inner = inner
+        super().__init__(name=f"{inner.name}[{shard_index}]")
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.interval = inner.interval
+        self.input_ports = inner.input_ports
+        self.cost_per_tuple = inner.cost_per_tuple
+        self.span_name = inner.span_name
+        self._envelopes = 0
+        # Instance-bound fast path: shadows the delegating methods below,
+        # saving one call frame per tuple on the hottest path (the inner
+        # operator does its own stats/lineage bookkeeping, and ``inner``
+        # is never swapped — restore mutates it in place).
+        self.on_tuple = inner.on_tuple
+        self.on_batch = inner.on_batch
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @stats.setter
+    def stats(self, value) -> None:
+        self.inner.stats = value
+
+    @property
+    def lineage(self):
+        return self.inner.lineage
+
+    @lineage.setter
+    def lineage(self, value) -> None:
+        self.inner.lineage = value
+
+    def on_tuple(self, tuple_: SensorTuple, port: int = 0) -> list[SensorTuple]:
+        return self.inner.on_tuple(tuple_, port)
+
+    def on_batch(self, tuples, port: int = 0) -> list[SensorTuple]:
+        return self.inner.on_batch(tuples, port)
+
+    def on_timer(self, now: float) -> list[SensorTuple]:
+        inner = self.inner
+        pair_log: "list | None" = None
+        if isinstance(inner, JoinOperator):
+            pair_log = inner._pair_log = []
+        try:
+            emitted = inner.on_timer(now)
+        finally:
+            if pair_log is not None:
+                inner._pair_log = None
+        if pair_log is not None:
+            entries = tuple(
+                (order_key_for_pair(lt, rt), out)
+                for out, (lt, rt) in zip(emitted, pair_log)
+            )
+        else:
+            # Aggregation: groups are whole on one shard, and the
+            # unsharded flush orders them by str(group key).
+            group_by = getattr(inner, "group_by", None)
+            entries = tuple((str(t.get(group_by)), t) for t in emitted)
+        envelope = SensorTuple(
+            payload={
+                SHARD_KEY: self.shard_index,
+                EPOCH_KEY: now,
+                ENTRIES_KEY: entries,
+            },
+            stamp=SttStamp(time=now, location=Point(0.0, 0.0)),
+            source=f"{inner.name}#shard{self.shard_index}",
+            seq=self._envelopes,
+        )
+        self._envelopes += 1
+        return [envelope]
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._envelopes = 0
+
+    def checkpoint(self) -> dict:
+        return {
+            "stats": self.stats.snapshot(),
+            "inner": self.inner.checkpoint(),
+            "envelopes": self._envelopes,
+        }
+
+    def restore(self, state: dict) -> None:
+        if not isinstance(state, dict) or "inner" not in state:
+            raise CheckpointError(f"{self.name}: malformed shard checkpoint")
+        self.inner.restore(state["inner"])
+        self._envelopes = state.get("envelopes", 0)
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard_index}/{self.shard_count} of "
+            f"{self.inner.describe()}"
+        )
+
+
+class ShardMergeOperator(Operator):
+    """Re-establishes the unsharded flush order downstream of N shards.
+
+    Non-blocking (it reacts to envelopes, not to a timer) but stateful —
+    :attr:`checkpointable` is overridden so the runtime snapshots it.
+
+    An *epoch* is one conceptual flush, identified by its virtual flush
+    time.  Epoch T closes once every shard's latest envelope time has
+    reached T: per-shard envelope times are strictly monotone, so a dead
+    shard's gap closes as soon as its post-recovery punctuation arrives
+    (surviving shards are never held up beyond the failed window —
+    at-most-once, exactly the PR 1 recovery bound).  Envelopes for
+    already-closed epochs (a recovered shard replaying a flush the merge
+    has moved past) are dropped, never duplicated.
+
+    Closing an epoch sorts the union of the shards' entries by order key
+    and renumbers ``seq`` as the unsharded operator would have:
+    aggregation seq is ``firings * 1000 + offset`` (every firing
+    produces envelopes, so closed-epoch count ≡ the unsharded
+    ``timer_firings``); join seq is the per-flush offset.
+    """
+
+    cost_per_tuple = 0.5  # sort + renumber, no predicate work
+
+    def __init__(self, shard_count: int, mode: str, name: str = "") -> None:
+        if mode not in ("aggregate", "join"):
+            raise StreamLoaderError(f"unknown shard merge mode {mode!r}")
+        super().__init__(name or "shard-merge")
+        self.shard_count = shard_count
+        self.mode = mode
+        #: epoch time -> shard index -> entries tuple.
+        self._pending: dict[float, dict[int, tuple]] = {}
+        #: shard index -> latest envelope (punctuation) time seen.
+        self._latest: dict[int, float] = {}
+        self._epochs_closed = 0
+        self._closed_through = float("-inf")
+        self._skew_histogram = None
+        self._entry_counters: "list | None" = None
+
+    @property
+    def checkpointable(self) -> bool:
+        return True
+
+    def bind_obs(self, metrics, service: str) -> None:
+        """Cache per-shard instruments from the PR 3 registry."""
+        self._skew_histogram = metrics.histogram(
+            "shard_flush_skew_ratio",
+            "Max/mean entries per shard at epoch close (1.0 = balanced)",
+            buckets=SKEW_BUCKETS,
+            service=service,
+        )
+        self._entry_counters = [
+            metrics.counter(
+                "shard_flush_entries_total",
+                "Flush entries contributed by each shard",
+                service=service,
+                shard=str(index),
+            )
+            for index in range(self.shard_count)
+        ]
+
+    def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
+        payload = tuple_.payload
+        shard = payload[SHARD_KEY]
+        epoch = payload[EPOCH_KEY]
+        if epoch > self._closed_through:
+            self._pending.setdefault(epoch, {})[shard] = payload[ENTRIES_KEY]
+        latest = self._latest.get(shard)
+        if latest is None or epoch > latest:
+            self._latest[shard] = epoch
+        return self._close_ready_epochs()
+
+    def _close_ready_epochs(self) -> list[SensorTuple]:
+        out: list[SensorTuple] = []
+        while self._pending:
+            epoch = min(self._pending)
+            if len(self._latest) < self.shard_count:
+                break
+            if any(latest < epoch for latest in self._latest.values()):
+                break
+            by_shard = self._pending.pop(epoch)
+            self._closed_through = epoch
+            self._epochs_closed += 1
+            self._observe_epoch(by_shard)
+            merged: list[tuple] = []
+            for shard in sorted(by_shard):
+                merged.extend(by_shard[shard])
+            merged.sort(key=lambda entry: entry[0])
+            base = self._epochs_closed * 1000 if self.mode == "aggregate" else 0
+            for offset, (_, emitted) in enumerate(merged):
+                out.append(replace(emitted, seq=base + offset))
+        return out
+
+    def _observe_epoch(self, by_shard: dict[int, tuple]) -> None:
+        if self._entry_counters is not None:
+            for shard, entries in by_shard.items():
+                if entries:
+                    self._entry_counters[shard].inc(len(entries))
+        if self._skew_histogram is not None:
+            counts = [len(by_shard.get(k, ())) for k in range(self.shard_count)]
+            total = sum(counts)
+            if total:
+                self._skew_histogram.observe(
+                    max(counts) / (total / self.shard_count)
+                )
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = {}
+        self._latest = {}
+        self._epochs_closed = 0
+        self._closed_through = float("-inf")
+
+    def checkpoint(self) -> dict:
+        state = super().checkpoint()
+        state["pending"] = {
+            epoch: dict(by_shard) for epoch, by_shard in self._pending.items()
+        }
+        state["latest"] = dict(self._latest)
+        state["epochs_closed"] = self._epochs_closed
+        state["closed_through"] = self._closed_through
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._pending = {
+            epoch: dict(by_shard)
+            for epoch, by_shard in state.get("pending", {}).items()
+        }
+        self._latest = dict(state.get("latest", {}))
+        self._epochs_closed = state.get("epochs_closed", 0)
+        self._closed_through = state.get("closed_through", float("-inf"))
+
+    def describe(self) -> str:
+        return f"merge of {self.shard_count} {self.mode} shards"

@@ -135,18 +135,56 @@ def p3_fahrenheit_feed_flow() -> Dataflow:
     return flow
 
 
+def p5_sharded_stations_flow() -> Dataflow:
+    """PR-5 scale-out design: an equi-join and a grouped aggregation,
+    both split into key-hashed shard replicas via the ``shard`` clause."""
+    flow = Dataflow("p5-sharded-stations")
+    temp = flow.add_source(
+        SubscriptionFilter(sensor_type="temperature"), node_id="temp"
+    )
+    hum = flow.add_source(
+        SubscriptionFilter(sensor_type="humidity"), node_id="hum"
+    )
+    combine = flow.add_operator(
+        JoinSpec(interval=120.0, predicate="left.station == right.station"),
+        node_id="combine",
+    )
+    averages = flow.add_operator(
+        AggregationSpec(interval=600.0, attributes=("temperature",),
+                        function="AVG", group_by="station"),
+        node_id="station-avg",
+    )
+    joined = flow.add_sink("collector", node_id="joined")
+    out = flow.add_sink("collector", node_id="out")
+    flow.connect(temp, combine, port=0)
+    flow.connect(hum, combine, port=1)
+    flow.connect(combine, joined)
+    flow.connect(temp, averages)
+    flow.connect(averages, out)
+    return flow
+
+
 FLOWS = {
     "osaka-scenario": osaka_canvas_flow,
     "p1-apparent-temperature": p1_apparent_temperature_flow,
     "p2-torrential-rain": p2_torrential_rain_flow,
     "p3-fahrenheit-feed": p3_fahrenheit_feed_flow,
+    "p5-sharded-stations": p5_sharded_stations_flow,
+}
+
+#: shard directives passed to the translator per golden flow; flows not
+#: listed translate shard-free (their goldens keep the historical form).
+SHARDS = {
+    "p5-sharded-stations": {"combine": 2, "station-avg": 4},
 }
 
 
 @pytest.mark.parametrize("name", sorted(FLOWS))
 class TestDsnGoldens:
     def test_translation_matches_golden(self, name, registry, update_goldens):
-        text = dataflow_to_dsn(FLOWS[name](), registry).render()
+        text = dataflow_to_dsn(
+            FLOWS[name](), registry, shards=SHARDS.get(name)
+        ).render()
         path = GOLDEN_DIR / f"{name}.dsn"
         if update_goldens:
             GOLDEN_DIR.mkdir(exist_ok=True)

@@ -181,3 +181,67 @@ class TestMigration:
         placements = {"p:x": PlacementDecision("p:x", "node-0", 0.0, "")}
         scn.suggest_migrations(placements, {"p:x": 900.0})
         assert len(scn.migrations) == 1
+
+
+class TestPlaceShards:
+    """Shard placement: spread-first, pack fallback, hard failure modes."""
+
+    def test_spreads_over_distinct_nodes(self, topo):
+        scn = ScnController(topo)
+        decisions = scn.place_shards("agg", 3, ["node-0"], demand=1.0)
+        assert [d.service for d in decisions] == ["agg#0", "agg#1", "agg#2"]
+        nodes = [d.node_id for d in decisions]
+        assert len(set(nodes)) == 3
+
+    def test_packs_when_shards_exceed_nodes(self, topo):
+        scn = ScnController(topo)
+        decisions = scn.place_shards("agg", 5, ["node-0"], demand=1.0)
+        assert len(decisions) == 5
+        # All three nodes are used before any node takes a second shard.
+        assert len(set(d.node_id for d in decisions[:3])) == 3
+
+    def test_avoid_excludes_nodes(self, topo):
+        scn = ScnController(topo)
+        decisions = scn.place_shards(
+            "agg", 2, ["node-0"], demand=1.0, avoid={"node-1"}
+        )
+        assert all(d.node_id != "node-1" for d in decisions)
+
+    def test_no_live_nodes_raises(self, topo):
+        scn = ScnController(topo)
+        for node in topo.nodes:
+            node.fail()
+        with pytest.raises(PlacementError, match="no live nodes"):
+            scn.place_shards("agg", 2, [], demand=1.0)
+
+    def test_avoiding_everything_raises(self, topo):
+        scn = ScnController(topo)
+        with pytest.raises(PlacementError, match="no live nodes"):
+            scn.place_shards(
+                "agg", 1, [], demand=1.0,
+                avoid={"node-0", "node-1", "node-2"},
+            )
+
+    def test_capacity_exhausted_names_the_shard(self):
+        # Each node absorbs one 600-unit shard (capacity 1000); the
+        # fourth shard finds every candidate full, even via packing.
+        topo = Topology.line(3)
+        scn = ScnController(topo)
+        with pytest.raises(PlacementError,
+                           match=r"capacity exhausted placing shard 3"):
+            scn.place_shards("agg", 4, ["node-0"], demand=600.0)
+
+    def test_projected_load_counts_against_capacity(self):
+        topo = Topology.line(2)
+        scn = ScnController(topo)
+        with pytest.raises(PlacementError, match="capacity exhausted"):
+            scn.place_shards(
+                "agg", 1, [], demand=600.0,
+                projected={"node-0": 500.0, "node-1": 500.0},
+            )
+
+    def test_dead_nodes_never_chosen(self, topo):
+        scn = ScnController(topo)
+        topo.node("node-2").fail()
+        decisions = scn.place_shards("agg", 4, ["node-0"], demand=1.0)
+        assert all(d.node_id != "node-2" for d in decisions)

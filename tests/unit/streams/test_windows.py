@@ -65,3 +65,62 @@ class TestPrune:
             cache.add(make_tuple(i, time=float(i)))
         assert cache.prune(before=1e9) == 3
         assert not cache
+
+
+class TestEvictionBoundaries:
+    """Edge cases of the eviction contract the shard adapters lean on."""
+
+    def test_prune_boundary_is_exclusive(self, make_tuple):
+        """``prune(before)`` evicts *strictly* earlier stamps: a tuple at
+        exactly the window edge belongs to the retained window."""
+        cache = TupleCache()
+        cache.add(make_tuple(0, time=10.0))
+        cache.add(make_tuple(1, time=20.0))
+        assert cache.prune(before=20.0) == 1
+        assert [t.seq for t in cache] == [1]
+
+    def test_prune_stops_at_first_retained_straggler(self, make_tuple):
+        """The scan stops at the first retained head: a straggler parked
+        *behind* a fresh tuple survives (documented fresh-data bias)."""
+        cache = TupleCache()
+        cache.add(make_tuple(0, time=100.0))
+        cache.add(make_tuple(1, time=5.0))   # straggler, out of order
+        assert cache.prune(before=50.0) == 0
+        assert len(cache) == 2
+
+    def test_prune_does_not_count_as_overflow_eviction(self, make_tuple):
+        """``evicted`` tracks memory-bound overflow only; pruning is a
+        window operation and must not inflate the monitor's counter."""
+        cache = TupleCache()
+        for i in range(4):
+            cache.add(make_tuple(i, time=float(i)))
+        assert cache.prune(before=4.0) == 4
+        assert cache.evicted == 0
+
+    def test_on_evict_fires_for_overflow_and_prune_only(self, make_tuple):
+        evicted = []
+        cache = TupleCache(max_tuples=2, on_evict=lambda t: evicted.append(t.seq))
+        for i in range(3):
+            cache.add(make_tuple(i, time=float(i)))   # overflow evicts 0
+        assert evicted == [0]
+        cache.prune(before=2.0)                       # prune evicts 1
+        assert evicted == [0, 1]
+        cache.add(make_tuple(3, time=3.0))
+        cache.drain()                                 # bulk ops stay silent
+        cache.add(make_tuple(4, time=4.0))
+        cache.clear()
+        cache.restore([make_tuple(5, time=5.0)])
+        assert evicted == [0, 1]
+
+    def test_restore_truncates_to_newest_capacity(self, make_tuple):
+        cache = TupleCache(max_tuples=2)
+        cache.restore([make_tuple(i) for i in range(5)], evicted=7)
+        assert [t.seq for t in cache] == [3, 4]
+        assert cache.evicted == 7
+
+    def test_exactly_full_does_not_evict(self, make_tuple):
+        cache = TupleCache(max_tuples=3)
+        for i in range(3):
+            cache.add(make_tuple(i))
+        assert cache.evicted == 0
+        assert len(cache) == 3
