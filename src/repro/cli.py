@@ -55,11 +55,30 @@ def _shards_from(args: argparse.Namespace):
     return shards if shards > 1 else None
 
 
+def _apply_rebalance(args: argparse.Namespace, stack) -> bool:
+    """--rebalance/--split-hot-keys -> executor rebalance config.
+
+    Returns the ``elastic`` flag handed to deploy.  ``--split-hot-keys``
+    implies ``--rebalance`` (splitting is one of the loop's actions).
+    """
+    rebalance = getattr(args, "rebalance", False)
+    split = getattr(args, "split_hot_keys", False)
+    if not (rebalance or split):
+        return False
+    from dataclasses import replace
+
+    stack.executor.rebalance_config = replace(
+        stack.executor.rebalance_config, split_hot_keys=split
+    )
+    return True
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     stack = build_stack(hot=not args.cool, extended=args.extended,
                         seed=args.seed, batching=_batching_from(args))
     flow = osaka_scenario_flow(stack)
-    deployment = stack.executor.deploy(flow, shards=_shards_from(args))
+    deployment = stack.executor.deploy(flow, shards=_shards_from(args),
+                                       elastic=_apply_rebalance(args, stack))
     stack.run_until(args.hours * 3600.0)
 
     print(stack.executor.monitor.render_dashboard())
@@ -99,7 +118,8 @@ def _run_observed(args: argparse.Namespace):
         flow = sharded_aggregation_flow(stack)
     else:
         flow = _load_canvas(name)
-    deployment = stack.executor.deploy(flow, shards=_shards_from(args))
+    deployment = stack.executor.deploy(flow, shards=_shards_from(args),
+                                       elastic=_apply_rebalance(args, stack))
     stack.run_until(args.hours * 3600.0)
     return stack, deployment
 
@@ -224,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--shards", type=int, default=1, metavar="N",
                           help="split each partitionable blocking operator "
                                "into N key-hashed shards (default 1: off)")
+    scenario.add_argument("--rebalance", action="store_true",
+                          help="attach the elastic key-rebalance loop to "
+                               "sharded operators")
+    scenario.add_argument("--split-hot-keys", action="store_true",
+                          help="allow the rebalancer to split one hot key "
+                               "across replicas (implies --rebalance)")
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -272,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--shards", type=int, default=1, metavar="N",
                        help="split each partitionable blocking operator "
                             "into N key-hashed shards")
+    trace.add_argument("--rebalance", action="store_true",
+                       help="attach the elastic key-rebalance loop to "
+                            "sharded operators")
+    trace.add_argument("--split-hot-keys", action="store_true",
+                       help="allow the rebalancer to split one hot key "
+                            "across replicas (implies --rebalance)")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -298,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--shards", type=int, default=1, metavar="N",
                          help="split each partitionable blocking operator "
                               "into N key-hashed shards")
+    metrics.add_argument("--rebalance", action="store_true",
+                         help="attach the elastic key-rebalance loop to "
+                              "sharded operators")
+    metrics.add_argument("--split-hot-keys", action="store_true",
+                         help="allow the rebalancer to split one hot key "
+                              "across replicas (implies --rebalance)")
     metrics.set_defaults(func=_cmd_metrics)
     return parser
 

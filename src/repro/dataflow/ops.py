@@ -88,6 +88,16 @@ class OperatorSpec:
         """
         return None
 
+    def combine_safe(self) -> bool:
+        """Whether a hot partition key may be *split* across replicas.
+
+        True only when one key's tuples can be processed independently on
+        several shards and the resulting partial outputs folded back into
+        the unsharded result by the merge's combine stage.  Default False:
+        splitting is opt-in per spec, never assumed.
+        """
+        return False
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, **self.params()}
 
@@ -339,6 +349,12 @@ class AggregationSpec(OperatorSpec):
         # group and cannot be split.
         return (self.group_by,) if self.group_by is not None else None
 
+    def combine_safe(self) -> bool:
+        # COUNT/AVG/SUM/MIN/MAX all fold from per-replica
+        # [count, sum, min, max] partials, so a grouped aggregation's hot
+        # key may be sprayed across replicas.
+        return self.group_by is not None
+
     def params(self) -> dict:
         return {
             "interval": self.interval,
@@ -383,6 +399,12 @@ class JoinSpec(OperatorSpec):
         # sides of a match always hash to the same shard.
         equi = self.build_operator().equi_keys  # type: ignore[attr-defined]
         return (equi[0][0], equi[0][1]) if equi else None
+
+    def combine_safe(self) -> bool:
+        # Never: spraying one equi-key over replicas separates left and
+        # right tuples that must meet in the same window — pairs would be
+        # silently lost, and no partial-fold can recover them.
+        return False
 
     def params(self) -> dict:
         return {

@@ -117,11 +117,17 @@ class DsnShard:
     service: str
     count: int
     keys: tuple[str, ...] = ()
+    #: Attach the load-feedback rebalance loop: keys may migrate between
+    #: shards (and hot keys split) at runtime instead of staying pinned
+    #: to their hash slot.
+    elastic: bool = False
 
     def render(self) -> str:
         line = f'  shard "{self.service}" {self.count}'
         if self.keys:
             line += " by " + ", ".join(f'"{key}"' for key in self.keys)
+        if self.elastic:
+            line += " elastic"
         return line + ";"
 
 

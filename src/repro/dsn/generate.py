@@ -30,6 +30,7 @@ def dataflow_to_dsn(
     batch_delay: "float | None" = None,
     max_batch: int = 32,
     shards: "int | dict[str, int] | None" = None,
+    elastic: bool = False,
 ) -> DsnProgram:
     """Translate a (consistent) dataflow into its DSN program.
 
@@ -54,6 +55,9 @@ def dataflow_to_dsn(
             names to shard counts and raises :class:`DataflowError` for a
             service that cannot honour it.  ``None`` emits no shard
             clauses, so existing programs render unchanged.
+        elastic: mark every emitted shard clause ``elastic``, attaching
+            the load-feedback rebalance loop at deploy time.  Ignored
+            without ``shards``.
     """
     if validate:
         validate_dataflow(flow, registry).raise_if_invalid()
@@ -142,7 +146,8 @@ def dataflow_to_dsn(
                 continue  # blanket request skips unshardable operators
             if count > 1:
                 program.shards.append(
-                    DsnShard(service=name, count=count, keys=keys)
+                    DsnShard(service=name, count=count, keys=keys,
+                             elastic=elastic)
                 )
 
     program.check()

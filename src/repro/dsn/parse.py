@@ -42,7 +42,8 @@ _CONTROL_RE = re.compile(
 )
 _SHARD_RE = re.compile(
     r'^shard\s+"((?:[^"\\]|\\.)*)"\s+(\d+)'
-    r'(?:\s+by\s+("(?:[^"\\]|\\.)*"(?:\s*,\s*"(?:[^"\\]|\\.)*")*))?;$'
+    r'(?:\s+by\s+("(?:[^"\\]|\\.)*"(?:\s*,\s*"(?:[^"\\]|\\.)*")*))?'
+    r'(?:\s+(elastic))?;$'
 )
 _SHARD_KEY_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
@@ -158,6 +159,7 @@ def parse_dsn(text: str) -> DsnProgram:
                         _unescape(key)
                         for key in _SHARD_KEY_RE.findall(keys_text)
                     ),
+                    elastic=match.group(4) is not None,
                 )
             )
             continue

@@ -164,6 +164,19 @@ class MetricsRegistry:
             instrument = instruments[key] = Histogram(buckets)
         return instrument  # type: ignore[return-value]
 
+    def get(self, name: str, **labels: str) -> "object | None":
+        """Look up an existing instrument without registering one.
+
+        Readers (the rebalance loop, benchmarks, assertions) use this so
+        a probe for ``shard_flush_entries_total{shard="7"}`` of a
+        4-shard group answers None instead of minting a zero-valued
+        instrument that then pollutes the exposition.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family[2].get(_labelset(labels))
+
     # -- export ------------------------------------------------------------
 
     def expose(self) -> str:

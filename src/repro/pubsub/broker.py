@@ -260,6 +260,7 @@ class BrokerNetwork:
         callbacks: "list[Callable[[SensorTuple], None]]",
         keys: "tuple[str, ...]",
         batch_callbacks: "list | None" = None,
+        assignment=None,
     ) -> ShardRouter:
         """Create N member subscriptions routed through one ShardRouter.
 
@@ -267,6 +268,8 @@ class BrokerNetwork:
         node's broker, so per-node bookkeeping is unchanged), but the
         routing tables carry the *router*: per published tuple exactly one
         member — the shard owning the tuple's key — receives it.
+        ``assignment`` threads the elastic routing overlay through to the
+        router (None for static shard groups).
         """
         if len(node_ids) != len(callbacks):
             raise PubSubError(
@@ -282,7 +285,7 @@ class BrokerNetwork:
                 subscription.batch_callback = batch_callbacks[index]
             self.broker(node_id).add_subscription(subscription)
             members.append(subscription)
-        router = ShardRouter(members, keys)
+        router = ShardRouter(members, keys, assignment=assignment)
         for metadata in self.registry.all():
             if filter_.matches(metadata):
                 self._routes.setdefault(metadata.sensor_id, []).append(router)

@@ -23,15 +23,25 @@ from repro.streams.tuple import SensorTuple, TupleBatch
 
 
 class ShardRouter:
-    """Routes each tuple of a stream to one of N member subscriptions."""
+    """Routes each tuple of a stream to one of N member subscriptions.
 
-    __slots__ = ("members", "keys")
+    ``assignment`` (optional) is the elastic overlay shared with the
+    runtime's ShardGroup: when present it is consulted per key ahead of
+    the hash default, so a rebalancer's migrations and hot-key splits
+    re-route broker deliveries and operator forwarding identically.
+    """
+
+    __slots__ = ("members", "keys", "assignment")
 
     def __init__(
-        self, members: "Sequence[Subscription]", keys: "Sequence[str]"
+        self,
+        members: "Sequence[Subscription]",
+        keys: "Sequence[str]",
+        assignment=None,
     ) -> None:
         self.members: list[Subscription] = list(members)
         self.keys = tuple(keys)
+        self.assignment = assignment
         for member in self.members:
             member.router = self
 
@@ -42,6 +52,8 @@ class ShardRouter:
 
     def member_for(self, tuple_: SensorTuple) -> Subscription:
         values = tuple(tuple_.get(key) for key in self.keys)
+        if self.assignment is not None:
+            return self.members[self.assignment.index_for(values)]
         return self.members[partition_index(values, len(self.members))]
 
     def split_batch(
@@ -55,10 +67,13 @@ class ShardRouter:
         """
         count = len(self.members)
         keys = self.keys
+        assignment = self.assignment
         buckets: dict[int, list[SensorTuple]] = {}
         for tuple_ in batch:
             values = tuple(tuple_.get(key) for key in keys)
-            buckets.setdefault(partition_index(values, count), []).append(tuple_)
+            index = (assignment.index_for(values) if assignment is not None
+                     else partition_index(values, count))
+            buckets.setdefault(index, []).append(tuple_)
         return [
             (self.members[index], batch.with_tuples(buckets[index]))
             for index in sorted(buckets)

@@ -95,6 +95,9 @@ class Deployment:
         #: declared ``batch``).  The scenario layer applies these to the
         #: matched sensors (the executor does not own sensor objects).
         self.batch_hints: dict[str, int] = {}
+        #: conceptual service name -> its elastic-sharding control loop
+        #: (only services deployed with ``shard ... elastic``).
+        self.rebalancers: dict[str, object] = {}
         self.state = DeploymentState.DESIGNED
         self._rebalance_cancel: "Callable[[], None] | None" = None
         #: subscription id -> the process that consumes its deliveries.
@@ -184,6 +187,8 @@ class Deployment:
         if self._rebalance_cancel is not None:
             self._rebalance_cancel()
             self._rebalance_cancel = None
+        for rebalancer in self.rebalancers.values():
+            rebalancer.stop()
         for binding in self.bindings.values():
             for subscription in binding.subscriptions:
                 self.executor.broker_network.unsubscribe(subscription)
@@ -236,6 +241,7 @@ class Executor:
         checkpoint_interval: float = 60.0,
         source_quorum: float = 0.5,
         obs: "object | None" = None,
+        rebalance_config: "object | None" = None,
     ) -> None:
         if not (0.0 < source_quorum <= 1.0):
             raise DeploymentError(
@@ -260,6 +266,12 @@ class Executor:
         self.warehouse = warehouse
         self.sticker = sticker
         self.rebalance_interval = rebalance_interval
+        #: Knobs for the elastic key-level control loop (``shard ...
+        #: elastic`` services); node-level coordination rounds above keep
+        #: their own ``rebalance_interval``.
+        from repro.runtime.rebalance import RebalanceConfig
+
+        self.rebalance_config = rebalance_config or RebalanceConfig()
         #: Blocking-operator snapshot cadence (seconds of virtual time).
         self.checkpoint_interval = checkpoint_interval
         #: Fraction of deploy-time sensors a source must keep to stay healthy.
@@ -350,19 +362,23 @@ class Executor:
         self,
         flow_or_program: "Dataflow | DsnProgram",
         shards: "int | dict[str, int] | None" = None,
+        elastic: bool = False,
     ) -> Deployment:
         """Translate (if needed), place, spawn, wire, and start a dataflow.
 
         ``shards`` requests key-partitioned scale-out for blocking
         operators when translating a conceptual dataflow (see
-        :func:`repro.dsn.generate.dataflow_to_dsn`).  A DSN program passed
-        directly already carries its ``shard`` clauses, so ``shards`` is
-        only honoured for :class:`Dataflow` input.
+        :func:`repro.dsn.generate.dataflow_to_dsn`); ``elastic`` marks
+        those shard clauses elastic, attaching the load-feedback
+        rebalance loop (``--rebalance``).  A DSN program passed directly
+        already carries its ``shard`` clauses, so both are only honoured
+        for :class:`Dataflow` input.
         """
         if isinstance(flow_or_program, Dataflow):
             flow = flow_or_program
             program = dataflow_to_dsn(
-                flow, self.broker_network.registry, shards=shards
+                flow, self.broker_network.registry, shards=shards,
+                elastic=elastic,
             )
         else:
             flow = None
@@ -426,7 +442,8 @@ class Executor:
             if operator.checkpointable:
                 process.enable_checkpoints(self.checkpoint_interval)
             node = self.netsim.topology.node(process.node_id)
-            node.update_demand(process.process_id, demands.get(service.name, 0.0))
+            process.placement_demand = demands.get(service.name, 0.0)
+            node.update_demand(process.process_id, process.placement_demand)
             deployment.processes[service.name] = process
 
         # Wire channels.
@@ -472,6 +489,8 @@ class Executor:
         deployment._rebalance_cancel = self.netsim.clock.schedule_periodic(
             self.rebalance_interval, lambda: self._rebalance(deployment)
         )
+        for rebalancer in deployment.rebalancers.values():
+            rebalancer.start()
         self.deployments[program.name] = deployment
         return deployment
 
@@ -612,6 +631,7 @@ class Executor:
             if adapter.checkpointable:
                 process.enable_checkpoints(self.checkpoint_interval)
             node = self.netsim.topology.node(process.node_id)
+            process.placement_demand = demand
             node.update_demand(process.process_id, demand)
             key = f"{service.name}#{index}"
             deployment.processes[key] = process
@@ -635,6 +655,7 @@ class Executor:
         if merge.checkpointable:
             merge_process.enable_checkpoints(self.checkpoint_interval)
         node = self.netsim.topology.node(merge_process.node_id)
+        merge_process.placement_demand = demand
         node.update_demand(merge_process.process_id, demand)
         merge_key = f"{service.name}#merge"
         deployment.processes[merge_key] = merge_process
@@ -648,12 +669,38 @@ class Executor:
             keys_by_port = (tuple(shard.keys),)
         for member in members:
             member.add_route(merge_process, port=0, qos=service.qos)
-        deployment.shard_groups[service.name] = ShardGroup(
+        assignment = None
+        if getattr(shard, "elastic", False):
+            from repro.runtime.rebalance import ShardRebalancer
+            from repro.streams.shard import ShardAssignment
+
+            assignment = ShardAssignment(count)
+        group = ShardGroup(
             service=service.name,
             members=members,
             keys_by_port=keys_by_port,
             merge=merge_process,
+            assignment=assignment,
         )
+        deployment.shard_groups[service.name] = group
+        if assignment is not None:
+            # Stragglers of a migrated key (tuples in flight when the
+            # routing flipped) are handed to the current owner.
+            def reroute(tuple_, port, group=group):
+                group.member_for(tuple_, port).receive(tuple_, port=port)
+
+            for member in members:
+                member.operator.enable_elastic(keys_by_port, reroute)
+            deployment.rebalancers[service.name] = ShardRebalancer(
+                group,
+                assignment,
+                self.netsim,
+                service.name,
+                interval=members[0].operator.interval,
+                config=self.rebalance_config,
+                monitor=self.monitor,
+                combine_safe=spec.combine_safe(),
+            )
 
     def _bind_source_sharded(
         self,
@@ -686,6 +733,7 @@ class Executor:
             callbacks=callbacks,
             keys=group.keys_for_port(port),
             batch_callbacks=batch_callbacks,
+            assignment=group.assignment,
         )
         active = service.params.get("active", True)
         binding = deployment.bindings[service_name]
@@ -787,7 +835,14 @@ class Executor:
                 for channel in deployment.program.channels_into(base)
                 if channel.source in deployment.placements
             ]
-            demand = process.rate.rate * process.operator.cost_per_tuple
+            # Floor at the deploy-time estimate: a process displaced
+            # before its first monitor sample reads rate 0.0, and booking
+            # zero demand lets every displaced sibling pack onto the same
+            # node unseen (the place_shards double-booking bug).
+            demand = max(
+                process.rate.rate * process.operator.cost_per_tuple,
+                process.placement_demand,
+            )
             try:
                 decision = self.scn.replace_service(
                     name, upstream_nodes, demand, avoid={node_id}

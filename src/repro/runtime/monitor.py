@@ -51,6 +51,19 @@ class AssignmentChange:
 
 
 @dataclass(frozen=True)
+class MigrationEvent:
+    """One elastic-sharding action: a key migration or hot-key split."""
+
+    time: float
+    service: str
+    key: str
+    kind: str  # "migrate" | "split" | "aborted"
+    from_shard: int
+    to_shards: tuple[int, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
 class DeadLetterRecord:
     """One tuple the broker gave up delivering (surfaced, not silent)."""
 
@@ -111,6 +124,7 @@ class Monitor:
         self._dead_letter_counter = None
         self._assignment_counter = None
         self._control_counter = None
+        self._migration_counter = None
         if obs is not None:
             metrics = obs.metrics
             self._dead_letter_counter = metrics.counter(
@@ -125,11 +139,16 @@ class Monitor:
                 "monitor_control_commands_total",
                 "trigger commands actuated by the control plane",
             )
+            self._migration_counter = metrics.counter(
+                "monitor_key_migrations_total",
+                "elastic-sharding key migrations and hot-key splits",
+            )
         #: (deployment, process) -> tuples/sec series.
         self.operation_rates: dict[str, TimeSeries] = {}
         #: node -> utilization series.
         self.node_utilization: dict[str, TimeSeries] = {}
         self.assignment_log: list[AssignmentChange] = []
+        self.migration_log: list[MigrationEvent] = []
         self.control_log: list[ControlCommand] = []
         self.dead_letter_log: list[DeadLetterRecord] = []
         self.logs: list[LogRecord] = []
@@ -203,6 +222,35 @@ class Monitor:
                 process=process_id, **{"from": from_node, "to": to_node},
                 reason=reason,
             )
+
+    def record_migration(
+        self,
+        service: str,
+        key: str,
+        kind: str,
+        from_shard: int,
+        to_shards: "tuple[int, ...]",
+        reason: str,
+    ) -> MigrationEvent:
+        """Log one elastic-sharding action (the migration event log)."""
+        event = MigrationEvent(
+            time=self.netsim.clock.now,
+            service=service,
+            key=key,
+            kind=kind,
+            from_shard=from_shard,
+            to_shards=tuple(to_shards),
+            reason=reason,
+        )
+        self.migration_log.append(event)
+        targets = ",".join(str(shard) for shard in event.to_shards)
+        self.log(
+            service, f"key-{kind}",
+            f"{key}: shard {from_shard} -> [{targets}] ({reason})",
+        )
+        if self._migration_counter is not None:
+            self._migration_counter.inc()
+        return event
 
     def heartbeat(self, process_id: str, node_id: str, time: float) -> None:
         """Liveness beat from a watched process (wired by :meth:`watch`)."""
@@ -393,6 +441,7 @@ class Monitor:
             "suffering_nodes": self.suffering_nodes(),
             "assignments": self.current_assignments(),
             "assignment_changes": len(self.assignment_log),
+            "key_migrations": len(self.migration_log),
             "controls": len(self.control_log),
             "node_health": {
                 node_id: health.value

@@ -89,6 +89,12 @@ class OperatorProcess:
             )
         self.routes: list[Route] = []
         self.rate = RateEstimator()
+        #: Deploy-time demand estimate (cost-units/s) the placement was
+        #: booked with.  Floors the demand this process re-registers when
+        #: it moves: the live rate estimate reads 0.0 until the monitor's
+        #: first sample, and booking 0.0 on the new node double-books its
+        #: capacity for every later placement decision.
+        self.placement_demand = 0.0
         self._timer_cancel: "Callable[[], None] | None" = None
         self._started = False
         self._stopped = False
@@ -151,7 +157,10 @@ class OperatorProcess:
             return
         old = self.netsim.topology.node(self.node_id)
         new = self.netsim.topology.node(node_id)
-        demand = self.rate.rate * self.operator.cost_per_tuple
+        demand = max(
+            self.rate.rate * self.operator.cost_per_tuple,
+            self.placement_demand,
+        )
         if self.process_id in old.processes:
             old.unregister_process(self.process_id)
         new.register_process(self.process_id, demand)

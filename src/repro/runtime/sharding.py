@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.streams.shard import partition_index
+from repro.streams.shard import ShardAssignment, partition_index
 from repro.streams.tuple import SensorTuple, TupleBatch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,12 +35,17 @@ class ShardGroup:
     #: tuple's length uses the last entry (single-port operators).
     keys_by_port: tuple[tuple[str, ...], ...] = ((),)
     merge: "OperatorProcess | None" = None
+    #: Elastic routing overlay shared with the broker-side ShardRouter;
+    #: None on static deployments (the pure-hash fast path).
+    assignment: "ShardAssignment | None" = None
 
     def keys_for_port(self, port: int) -> tuple[str, ...]:
         return self.keys_by_port[min(port, len(self.keys_by_port) - 1)]
 
     def member_for(self, tuple_: SensorTuple, port: int = 0) -> "OperatorProcess":
         values = tuple(tuple_.get(key) for key in self.keys_for_port(port))
+        if self.assignment is not None:
+            return self.members[self.assignment.index_for(values)]
         return self.members[partition_index(values, len(self.members))]
 
     def split(
@@ -49,10 +54,13 @@ class ShardGroup:
         """Bucket a run of tuples into per-member batches, order-preserving."""
         keys = self.keys_for_port(port)
         count = len(self.members)
+        assignment = self.assignment
         buckets: dict[int, list[SensorTuple]] = {}
         for tuple_ in tuples:
             values = tuple(tuple_.get(key) for key in keys)
-            buckets.setdefault(partition_index(values, count), []).append(tuple_)
+            index = (assignment.index_for(values) if assignment is not None
+                     else partition_index(values, count))
+            buckets.setdefault(index, []).append(tuple_)
         return [
             (self.members[index], TupleBatch.of(buckets[index]))
             for index in sorted(buckets)

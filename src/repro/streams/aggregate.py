@@ -145,6 +145,11 @@ class AggregationOperator(BlockingOperator):
             max_tuples=max_cache,
             on_evict=self._on_evict if incremental else None,
         )
+        #: When set (to a dict) by a sharding adapter, every emitted
+        #: group's resolved accumulators are recorded by str(group key) so
+        #: a split key's replicas can ship partials to the merge's
+        #: combine stage.
+        self._partial_log: "dict[str, dict] | None" = None
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         self.cache.add(tuple_)
@@ -377,9 +382,58 @@ class AggregationOperator(BlockingOperator):
             source=f"{self.name}({first.source})",
             seq=self.stats.timer_firings * 1000 + seq_offset,
         )
+        if self._partial_log is not None:
+            # Dirty slices were resolved above, so these are the exact
+            # [count, sum, min, max] this emission was computed from.
+            self._partial_log[str(key)] = {
+                "stats": {
+                    attr: list(acc.stats[attr]) for attr in self.attributes
+                },
+                "first": (first.stamp.time, first.source, first.seq),
+                "bbox": acc.bbox,
+            }
         if self.lineage is not None:
             self.lineage.record(out, list(members), self.name, now)
         return out
+
+    def extract_partition(self, value: object) -> "list[SensorTuple]":
+        """Remove and return one group key's cached window slice.
+
+        The migration donor half: the returned tuples are in arrival
+        order, so re-feeding them through :meth:`adopt_partition` on the
+        recipient rebuilds byte-identical accumulators (same float
+        accumulation order).  The group's accumulator is dropped here.
+        """
+        if self.group_by is None:
+            raise DataflowError(
+                f"{self.name}: extract_partition requires group_by"
+            )
+        moved = [t for t in self.cache if t.get(self.group_by) == value]
+        if moved:
+            kept = [t for t in self.cache if t.get(self.group_by) != value]
+            self.cache.restore(kept, evicted=self.cache.evicted)
+        self._groups.pop(value, None)
+        return moved
+
+    def adopt_partition(self, tuples: "list[SensorTuple]") -> None:
+        """Fold a donor's extracted group slice into this window.
+
+        The caches merge stable-sorted by stamp time (existing tuples
+        first on ties) so ``prune``'s head-scan stays correct for sliding
+        windows; accumulators replay the moved tuples in their original
+        arrival order.  The moved group must not already live here — the
+        router guarantees that (one owner per key at any instant).
+        """
+        moved = list(tuples)
+        if not moved:
+            return
+        merged = sorted(
+            list(self.cache) + moved, key=lambda t: t.stamp.time
+        )
+        self.cache.restore(merged, evicted=self.cache.evicted)
+        if self.incremental:
+            for tuple_ in moved:
+                self._accumulate(tuple_)
 
     def _aggregate_group(
         self, key: object, window: list[SensorTuple], now: float, seq_offset: int

@@ -284,6 +284,43 @@ class JoinOperator(BlockingOperator):
             self.lineage.record(out, (lt, rt), self.name, now)
         return out
 
+    def extract_partition(
+        self, left_attr: str, right_attr: str, value: object
+    ) -> dict:
+        """Remove and return one equi-key's slice of both windows."""
+        moved_left = [t for t in self.left_cache if t.get(left_attr) == value]
+        moved_right = [
+            t for t in self.right_cache if t.get(right_attr) == value
+        ]
+        if moved_left:
+            self.left_cache.restore(
+                [t for t in self.left_cache if t.get(left_attr) != value],
+                evicted=self.left_cache.evicted,
+            )
+        if moved_right:
+            self.right_cache.restore(
+                [t for t in self.right_cache if t.get(right_attr) != value],
+                evicted=self.right_cache.evicted,
+            )
+        return {"left": moved_left, "right": moved_right}
+
+    def adopt_partition(self, state: dict) -> None:
+        """Fold a donor's extracted equi-key slice into both windows.
+
+        Merged stable-sorted by stamp time (residents first on ties) so
+        the caches stay approximately time-ordered for pruning.
+        """
+        for cache, moved in (
+            (self.left_cache, state.get("left", ())),
+            (self.right_cache, state.get("right", ())),
+        ):
+            moved = list(moved)
+            if moved:
+                cache.restore(
+                    sorted(list(cache) + moved, key=lambda t: t.stamp.time),
+                    evicted=cache.evicted,
+                )
+
     def reset(self) -> None:
         super().reset()
         self.left_cache.clear()

@@ -8,16 +8,21 @@ batch=32, trace sampling=0.5).  Any wall-clock or unseeded-``random``
 leakage in the sharded merge plane, the batcher, or the samplers shows up
 here as a diff.
 
-Two scenarios are audited: the paper's Section 3 flow (where a blanket
-shard request is a documented no-op — nothing there has a partition key)
-and the sharded per-station aggregation flow that actually exercises the
-partitioner, envelopes, and merge stage.
+Three scenarios are audited: the paper's Section 3 flow (where a blanket
+shard request is a documented no-op — nothing there has a partition key),
+the sharded per-station aggregation flow that actually exercises the
+partitioner, envelopes, and merge stage, and the same sharded flow with
+the elastic rebalance loop engaged on a hair-trigger policy — the
+migration log itself becomes an audited observable, so a wall-clock or
+unseeded-``random`` leak in the control loop (monitor sampling, policy
+tie-breaks, barrier scheduling) shows up as a diff.
 """
 
 import json
 
 import pytest
 
+from repro.runtime.rebalance import RebalanceConfig
 from repro.scenario import (
     apply_batch_hints,
     build_stack,
@@ -29,6 +34,12 @@ SHARDS = 4
 BATCH = 32
 SAMPLING = 0.5
 HOURS = 6.0
+
+#: hair-trigger policy for the elastic case: any measurable imbalance
+#: acts after a single epoch, so migrations definitely happen inside the
+#: audited window.
+AGGRESSIVE = RebalanceConfig(imbalance_ratio=1.01, hysteresis=1,
+                             cooldown_epochs=2, split_hot_keys=True)
 
 
 def _observables(stack, deployment, sink_names):
@@ -48,14 +59,20 @@ def _observables(stack, deployment, sink_names):
         "warehouse": len(stack.warehouse),
         "sticker": stack.sticker.pushed,
         "dead_letters": stack.broker_network.data_messages_dead_lettered,
+        "migrations": [
+            (e.time, e.service, e.key, e.kind, e.from_shard, e.to_shards)
+            for e in stack.executor.monitor.migration_log
+        ],
     }
 
 
-def _run(flow_builder, sink_names, shards):
+def _run(flow_builder, sink_names, shards, elastic=False):
     stack = build_stack(hot=True, seed=7, observability=SAMPLING,
                         batching=BATCH)
+    if elastic:
+        stack.executor.rebalance_config = AGGRESSIVE
     flow = flow_builder(stack)
-    deployment = stack.executor.deploy(flow, shards=shards)
+    deployment = stack.executor.deploy(flow, shards=shards, elastic=elastic)
     apply_batch_hints(deployment, stack.fleet)
     stack.run_until(HOURS * 3600.0)
     return _observables(stack, deployment, sink_names)
@@ -63,17 +80,18 @@ def _run(flow_builder, sink_names, shards):
 
 class TestDeterminismAudit:
     @pytest.mark.parametrize(
-        "flow_builder,sink_names,shards",
+        "flow_builder,sink_names,shards,elastic",
         [
-            (osaka_scenario_flow, ("traffic-collector",), SHARDS),
-            (sharded_aggregation_flow, ("averages",), SHARDS),
+            (osaka_scenario_flow, ("traffic-collector",), SHARDS, False),
+            (sharded_aggregation_flow, ("averages",), SHARDS, False),
+            (sharded_aggregation_flow, ("averages",), SHARDS, True),
         ],
-        ids=["osaka-blanket-noop", "stations-sharded"],
+        ids=["osaka-blanket-noop", "stations-sharded", "stations-elastic"],
     )
     def test_same_seed_runs_are_byte_identical(self, flow_builder,
-                                               sink_names, shards):
-        first = _run(flow_builder, sink_names, shards)
-        second = _run(flow_builder, sink_names, shards)
+                                               sink_names, shards, elastic):
+        first = _run(flow_builder, sink_names, shards, elastic)
+        second = _run(flow_builder, sink_names, shards, elastic)
         assert first == second
 
     def test_sharded_run_actually_sharded(self):
@@ -88,3 +106,10 @@ class TestDeterminismAudit:
         group = deployment.shard_groups["station-avg"]
         assert len(group.members) == SHARDS
         assert deployment.collected("averages")
+
+    def test_elastic_run_actually_rebalances(self):
+        """Guard: the elastic audit case is not vacuously identical — the
+        hair-trigger policy really fires migrations inside the window."""
+        audit = _run(sharded_aggregation_flow, ("averages",), SHARDS,
+                     elastic=True)
+        assert audit["migrations"], "hair-trigger policy never acted"

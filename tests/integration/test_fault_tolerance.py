@@ -380,6 +380,259 @@ class TestShardFaultMatrix:
                 assert faulted.get((time, station)) == value
 
 
+class TestElasticFaultMatrix:
+    """Chaos rows for the elastic rebalance plane (DESIGN.md §13):
+    {kill the donor before the handoff, kill the recipient before the
+    restore, kill the donor right after the handoff, kill the merge
+    during a hot-key split} over a 4-way elastic grouped aggregation.
+
+    The same scripted-sensor discipline as :class:`TestShardFaultMatrix`
+    keeps the input schedule identical across runs, so the handoff
+    protocol's crash-safety claims can be pinned exactly: an action with
+    a dead participant aborts (recorded, never half-applied); an action
+    that committed survives the donor's death because both ends were
+    checkpointed at the barrier; and in every case nothing is duplicated
+    and only outage-window groups of the dead shard may be missing.
+    """
+
+    SHARDS = 4
+    WINDOW = 60.0
+    #: the forced action's epoch boundary (handoff at BOUNDARY + eps).
+    #: Deliberately *off* the executor's 300 s placement-round grid: a
+    #: round that fires between the kill and the handoff would re-place
+    #: the dead participant first and the action would no longer abort.
+    BOUNDARY = 660.0
+    AFFECTED_UNTIL = 900.0
+    AFFECTED_FROM = BOUNDARY - 60.0
+    END = 1500.0
+    STATIONS = 8
+
+    def _metadata(self):
+        return SensorMetadata(
+            sensor_id="elastic-temp",
+            sensor_type="temperature",
+            schema=StreamSchema.build(
+                {"temperature": "float", "station": "str"},
+                themes=("weather/temperature",),
+            ),
+            frequency=0.5,
+            location=Point(34.69, 135.50),
+            node_id="hub",
+        )
+
+    def _schedule_readings(self, netsim, network):
+        def publish(seq: int):
+            network.publish_data("elastic-temp", SensorTuple(
+                payload={
+                    "temperature": 15.0 + seq % 13,
+                    "station": f"st-{seq % self.STATIONS}",
+                },
+                stamp=SttStamp(time=netsim.clock.now,
+                               location=Point(34.69, 135.50)),
+                source="elastic-temp",
+                seq=seq,
+            ))
+
+        for seq in range(int(self.END / 2.0)):
+            netsim.clock.schedule(2.0 * seq + 1.0,
+                                  lambda seq=seq: publish(seq))
+
+    def _deploy(self):
+        from repro.runtime.rebalance import RebalanceConfig
+
+        netsim = NetworkSimulator(topology=Topology.star(leaf_count=5))
+        network = BrokerNetwork(netsim=netsim)
+        executor = Executor(
+            netsim, network, scn=ScnController(netsim.topology),
+            rebalance_config=RebalanceConfig(imbalance_ratio=float("inf")),
+        )
+        network.publish(self._metadata())
+        flow = sharded_aggregation_flow(None, interval=self.WINDOW)
+        deployment = executor.deploy(
+            flow, shards={"station-avg": self.SHARDS}, elastic=True
+        )
+        self._schedule_readings(netsim, network)
+        return netsim, executor, deployment
+
+    @staticmethod
+    def _by_key(deployment):
+        out = {}
+        for tuple_ in deployment.collected("averages"):
+            key = (tuple_.stamp.time, tuple_.payload["station"])
+            assert key not in out, f"duplicate flush entry {key}"
+            out[key] = tuple_.payload["avg_temperature"]
+        return out
+
+    def _movable_station(self, deployment):
+        """A station whose owner shard sits alone on a killable leaf,
+        plus a recipient shard on a *different* killable leaf."""
+        group = deployment.shard_groups["station-avg"]
+        merge_node = group.merge.node_id
+        nodes = [member.node_id for member in group.members]
+
+        def killable(index):
+            node = nodes[index]
+            return node not in (merge_node, "hub") and nodes.count(node) == 1
+
+        for station in range(self.STATIONS):
+            owner = partition_index((f"st-{station}",), self.SHARDS)
+            if not killable(owner):
+                continue
+            for recipient in range(self.SHARDS):
+                if recipient != owner and killable(recipient):
+                    return f"st-{station}", owner, recipient
+        pytest.skip("placement packed every shard with the merge stage")
+
+    def _force_migration(self, netsim, deployment, station, owner, recipient):
+        rebalancer = deployment.rebalancers["station-avg"]
+        netsim.clock.schedule_at(
+            self.BOUNDARY - 30.0,
+            lambda: rebalancer.executor.schedule_migration(
+                (station,), owner, recipient
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        """Elastic deployment, no forced action, no fault."""
+        netsim, _, deployment = self._deploy()
+        netsim.clock.run_until(self.END)
+        return self._by_key(deployment)
+
+    def _assert_converged(self, faulted, baseline, affected_shard):
+        assert set(faulted) <= set(baseline)
+        for (time, station), value in baseline.items():
+            shard = partition_index((station,), self.SHARDS)
+            in_outage = self.AFFECTED_FROM <= time <= self.AFFECTED_UNTIL
+            if shard == affected_shard and in_outage:
+                continue
+            assert faulted.get((time, station)) == value, (
+                f"unaffected group ({time}, {station}) diverged"
+            )
+
+    def test_donor_killed_before_handoff_aborts(self, baseline):
+        netsim, executor, deployment = self._deploy()
+        netsim.clock.run_until(self.BOUNDARY - 60.0)
+        station, owner, recipient = self._movable_station(deployment)
+        group = deployment.shard_groups["station-avg"]
+        donor_node = group.members[owner].node_id
+        self._force_migration(netsim, deployment, station, owner, recipient)
+        netsim.clock.schedule_at(self.BOUNDARY - 1.0,
+                                 lambda: netsim.kill_node(donor_node))
+        netsim.clock.run_until(self.END)
+
+        events = executor.monitor.migration_log
+        assert [e.kind for e in events] == ["aborted"]
+        assert "node down" in events[0].reason
+        # Nothing half-applied: routing untouched, no shard disowned it.
+        assert group.assignment.overrides == {}
+        assert all((station,) not in m.operator.disowned
+                   for m in group.members)
+        # The PR 1 path recovered the donor; output converged.
+        assert group.members[owner].node_id != donor_node
+        assert group.members[owner].restores >= 1
+        assert deployment.state is DeploymentState.RUNNING
+        self._assert_converged(self._by_key(deployment), baseline, owner)
+
+    def test_recipient_killed_before_restore_aborts(self, baseline):
+        netsim, executor, deployment = self._deploy()
+        netsim.clock.run_until(self.BOUNDARY - 60.0)
+        station, owner, recipient = self._movable_station(deployment)
+        group = deployment.shard_groups["station-avg"]
+        recipient_node = group.members[recipient].node_id
+        self._force_migration(netsim, deployment, station, owner, recipient)
+        netsim.clock.schedule_at(self.BOUNDARY - 1.0,
+                                 lambda: netsim.kill_node(recipient_node))
+        netsim.clock.run_until(self.END)
+
+        events = executor.monitor.migration_log
+        assert [e.kind for e in events] == ["aborted"]
+        # The donor keeps serving the key as if nothing was asked.
+        assert group.assignment.owner_of((station,)) == owner
+        assert group.assignment.overrides == {}
+        assert deployment.state is DeploymentState.RUNNING
+        self._assert_converged(self._by_key(deployment), baseline, recipient)
+
+    def test_donor_killed_after_handoff_keeps_migration(self, baseline):
+        """Once the barrier commit ran, the donor's death cannot undo it:
+        its post-handoff checkpoint carries the disowned marker, and the
+        moved key — now living on the recipient — rides out the outage
+        without losing a single window."""
+        netsim, executor, deployment = self._deploy()
+        netsim.clock.run_until(self.BOUNDARY - 60.0)
+        station, owner, recipient = self._movable_station(deployment)
+        group = deployment.shard_groups["station-avg"]
+        donor_node = group.members[owner].node_id
+        self._force_migration(netsim, deployment, station, owner, recipient)
+        # The handoff runs at BOUNDARY + 1e-6; the kill lands just after.
+        netsim.clock.schedule_at(self.BOUNDARY + 1e-3,
+                                 lambda: netsim.kill_node(donor_node))
+        netsim.clock.run_until(self.END)
+
+        events = executor.monitor.migration_log
+        assert [e.kind for e in events] == ["migrate"]
+        assert group.assignment.owner_of((station,)) == recipient
+        # The restored donor still knows the key left: no resurrection.
+        assert (station,) in group.members[owner].operator.disowned
+        assert group.members[owner].restores >= 1
+        faulted = self._by_key(deployment)
+        self._assert_converged(faulted, baseline, owner)
+        # The migrated key escaped the blast radius: every one of its
+        # baseline windows survived the donor's death.
+        for (time, st_name), value in baseline.items():
+            if st_name == station:
+                assert faulted.get((time, st_name)) == value
+
+    def test_merge_killed_during_split_recovers_folding(self):
+        """Kill the merge stage while a hot key is split: the restored
+        merge keeps folding partial entries, nothing is duplicated, and
+        post-recovery windows of the split key are intact."""
+        def run(kill: bool):
+            netsim, executor, deployment = self._deploy()
+            group = deployment.shard_groups["station-avg"]
+            rebalancer = deployment.rebalancers["station-avg"]
+            netsim.clock.schedule_at(
+                self.BOUNDARY - 30.0,
+                lambda: rebalancer.executor.schedule_split(
+                    ("st-3",), tuple(range(self.SHARDS))
+                ),
+            )
+            if kill:
+                member_nodes = [m.node_id for m in group.members]
+                spare = next(
+                    node.node_id for node in netsim.topology.live_nodes()
+                    if node.node_id != "hub"
+                    and node.node_id not in member_nodes
+                )
+
+                def relocate_and_kill():
+                    group.merge.move_to(spare)
+                    netsim.clock.schedule(30.0,
+                                          lambda: netsim.kill_node(spare))
+
+                netsim.clock.schedule_at(self.BOUNDARY + 1.0,
+                                         relocate_and_kill)
+            netsim.clock.run_until(self.END)
+            return executor, deployment, group
+
+        _, b_dep, _ = run(kill=False)
+        baseline = self._by_key(b_dep)
+        executor, deployment, group = run(kill=True)
+        faulted = self._by_key(deployment)   # asserts no duplicates
+
+        assert group.merge.restores >= 1
+        assert deployment.state is DeploymentState.RUNNING
+        assert set(faulted) <= set(baseline)
+        for (time, station), value in baseline.items():
+            if self.AFFECTED_FROM <= time <= self.AFFECTED_UNTIL:
+                continue
+            assert faulted.get((time, station)) == value
+        # Post-recovery split-key windows made it through the fold.
+        recovered = [time for (time, station) in faulted
+                     if station == "st-3" and time > self.AFFECTED_UNTIL]
+        assert recovered
+
+
 class TestOsakaKillRecovery:
     """Acceptance: kill/revive a node mid-run of the paper's scenario."""
 

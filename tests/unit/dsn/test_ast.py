@@ -7,6 +7,7 @@ from repro.dsn.ast import (
     DsnControl,
     DsnProgram,
     DsnService,
+    DsnShard,
     ServiceRole,
 )
 from repro.errors import DsnError
@@ -111,3 +112,17 @@ class TestRender:
         )
         text = service.render()
         assert 'qos class "real-time" segment 512 priority 1 max_latency 0.25;' in text
+
+    def test_shard_rendered(self):
+        program = small_program()
+        program.shards.append(
+            DsnShard(service="f", count=4, keys=("station",))
+        )
+        assert 'shard "f" 4 by "station";' in program.render()
+
+    def test_elastic_shard_rendered(self):
+        program = small_program()
+        program.shards.append(
+            DsnShard(service="f", count=4, keys=("station",), elastic=True)
+        )
+        assert 'shard "f" 4 by "station" elastic;' in program.render()

@@ -164,26 +164,51 @@ def p5_sharded_stations_flow() -> Dataflow:
     return flow
 
 
+def p6_elastic_stations_flow() -> Dataflow:
+    """PR-6 elastic design: a grouped aggregation sharded with the
+    ``elastic`` clause, attaching the load-feedback rebalance loop."""
+    flow = Dataflow("p6-elastic-stations")
+    temp = flow.add_source(
+        SubscriptionFilter(sensor_type="temperature"), node_id="temp"
+    )
+    averages = flow.add_operator(
+        AggregationSpec(interval=600.0, attributes=("temperature",),
+                        function="AVG", group_by="station"),
+        node_id="station-avg",
+    )
+    out = flow.add_sink("collector", node_id="out")
+    flow.connect(temp, averages)
+    flow.connect(averages, out)
+    return flow
+
+
 FLOWS = {
     "osaka-scenario": osaka_canvas_flow,
     "p1-apparent-temperature": p1_apparent_temperature_flow,
     "p2-torrential-rain": p2_torrential_rain_flow,
     "p3-fahrenheit-feed": p3_fahrenheit_feed_flow,
     "p5-sharded-stations": p5_sharded_stations_flow,
+    "p6-elastic-stations": p6_elastic_stations_flow,
 }
 
 #: shard directives passed to the translator per golden flow; flows not
 #: listed translate shard-free (their goldens keep the historical form).
 SHARDS = {
     "p5-sharded-stations": {"combine": 2, "station-avg": 4},
+    "p6-elastic-stations": {"station-avg": 4},
 }
+
+#: golden flows translated with ``elastic=True`` (shard clauses carry the
+#: trailing ``elastic`` keyword).
+ELASTIC = {"p6-elastic-stations"}
 
 
 @pytest.mark.parametrize("name", sorted(FLOWS))
 class TestDsnGoldens:
     def test_translation_matches_golden(self, name, registry, update_goldens):
         text = dataflow_to_dsn(
-            FLOWS[name](), registry, shards=SHARDS.get(name)
+            FLOWS[name](), registry, shards=SHARDS.get(name),
+            elastic=name in ELASTIC,
         ).render()
         path = GOLDEN_DIR / f"{name}.dsn"
         if update_goldens:

@@ -86,6 +86,42 @@ class TestErrors:
             parse_dsn(text)
 
 
+class TestShardClause:
+    def _program_text(self, shard_line: str) -> str:
+        return (
+            'dsn "p" {\n'
+            '  service operator "agg" kind "aggregation" {\n  }\n'
+            '  service source "s" {\n  }\n'
+            '  channel "s" -> "agg" port 0;\n'
+            f"  {shard_line}\n"
+            "}\n"
+        )
+
+    def test_plain_shard_not_elastic(self):
+        parsed = parse_dsn(self._program_text('shard "agg" 4 by "station";'))
+        (shard,) = parsed.shards
+        assert shard.count == 4
+        assert shard.keys == ("station",)
+        assert shard.elastic is False
+
+    def test_elastic_shard_parsed(self):
+        parsed = parse_dsn(
+            self._program_text('shard "agg" 4 by "station" elastic;')
+        )
+        (shard,) = parsed.shards
+        assert shard.elastic is True
+
+    def test_elastic_round_trips(self):
+        text = self._program_text('shard "agg" 8 by "station", "hour" elastic;')
+        rendered = parse_dsn(text).render()
+        assert 'shard "agg" 8 by "station", "hour" elastic;' in rendered
+        assert parse_dsn(rendered).render() == rendered
+
+    def test_misplaced_elastic_rejected(self):
+        with pytest.raises(DsnParseError, match="unexpected statement"):
+            parse_dsn(self._program_text('shard "agg" 4 elastic by "station";'))
+
+
 class TestValueEdgeCases:
     def test_string_with_semicolons_and_braces(self):
         text = (

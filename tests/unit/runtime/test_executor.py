@@ -183,3 +183,102 @@ class TestRebalance:
         count = len(deployment.collected("out"))
         stack.run_until(15 * 3600.0)  # hot afternoon
         assert len(deployment.collected("out")) > count
+
+
+class TestReplacementDemandAccounting:
+    """Regression: re-placing shard processes must book their deploy-time
+    demand, not the live rate estimate.
+
+    A process displaced before the monitor's first rate sample reads
+    ``rate.rate == 0.0``; booking that zero let every displaced sibling
+    look weightless, so ``replace_service`` packed them all onto the same
+    least-loaded node and double-booked its capacity for every later
+    placement decision.  The fix floors the booking at the deploy-time
+    ``placement_demand`` estimate.
+    """
+
+    FREQUENCY = 16.0   # Hz -> conceptual demand 16, 4 cost-units per shard
+
+    def _deploy(self):
+        from repro.dsn.scn import ScnController
+        from repro.network.netsim import NetworkSimulator
+        from repro.network.topology import Topology
+        from repro.pubsub.broker import BrokerNetwork
+        from repro.pubsub.registry import SensorMetadata
+        from repro.runtime.executor import Executor
+        from repro.schema.schema import StreamSchema
+        from repro.stt.spatial import Point
+
+        netsim = NetworkSimulator(topology=Topology.star(leaf_count=3))
+        netsim.topology.node("hub").capacity = 100.0
+        for leaf in ("edge-0", "edge-1", "edge-2"):
+            netsim.topology.node(leaf).capacity = 10.0
+        network = BrokerNetwork(netsim=netsim)
+        executor = Executor(netsim, network,
+                            scn=ScnController(netsim.topology))
+        network.publish(SensorMetadata(
+            sensor_id="fast-temp",
+            sensor_type="temperature",
+            schema=StreamSchema.build(
+                {"temperature": "float", "station": "str"},
+                themes=("weather/temperature",),
+            ),
+            frequency=self.FREQUENCY,
+            location=Point(34.69, 135.50),
+            node_id="hub",
+        ))
+
+        flow = Dataflow("demand-accounting")
+        src = flow.add_source(SubscriptionFilter(sensor_type="temperature"),
+                              node_id="src")
+        agg = flow.add_operator(
+            AggregationSpec(interval=600.0, attributes=("temperature",),
+                            function="AVG", group_by="station"),
+            node_id="agg",
+        )
+        out = flow.add_sink("collector", node_id="out")
+        flow.connect(src, agg)
+        flow.connect(agg, out)
+        deployment = executor.deploy(flow, shards={"agg": 4})
+        return netsim, executor, deployment
+
+    def test_displaced_shards_spread_instead_of_packing(self):
+        netsim, executor, deployment = self._deploy()
+        group = deployment.shard_groups["agg"]
+        first, second = group.members[0], group.members[1]
+        # Co-locate two shards on one small leaf (and clear everything
+        # else off it) so one kill displaces both before any rate sample.
+        for process in deployment.processes.values():
+            if process not in (first, second) and process.node_id == "edge-0":
+                process.move_to("hub")
+        first.move_to("edge-0")
+        second.move_to("edge-0")
+        assert first.rate.rate == 0.0   # pre-sampling: the bug's trigger
+
+        # A background hog prices the big hub out of contention: the two
+        # displaced shards must fight over the 10-unit leaves.
+        netsim.topology.node("hub").register_process("hog", demand=95.0)
+        netsim.kill_node("edge-0")
+        executor._replace_processes(deployment, "edge-0")
+
+        assert first.node_id in ("edge-1", "edge-2")
+        assert second.node_id in ("edge-1", "edge-2")
+        # The first replacement's booking must be visible to the second:
+        # two 4-unit shards cannot share one 10-unit leaf with the bug's
+        # zero-demand booking claiming otherwise.
+        assert first.node_id != second.node_id
+        for leaf in ("edge-1", "edge-2"):
+            node = netsim.topology.node(leaf)
+            assert node.load <= node.capacity, (
+                f"{leaf} over-booked: {node.load} > {node.capacity}"
+            )
+
+    def test_move_to_books_placement_demand_before_first_sample(self):
+        netsim, _, deployment = self._deploy()
+        member = deployment.shard_groups["agg"].members[0]
+        assert member.placement_demand == self.FREQUENCY / 4
+        node = netsim.topology.node("edge-1")
+        before = node.load
+        member.move_to("edge-1")
+        assert member.process_id in node.processes
+        assert node.load - before == member.placement_demand
