@@ -1,0 +1,46 @@
+"""Shared timing scaffolding for the ``run_*`` benchmark runners.
+
+Every runner needs the same two disciplines, previously copy-pasted into
+each file:
+
+- :func:`best_rate` — best-of-N throughput, so a single scheduler blip
+  or cache-cold pass cannot depress a reported number;
+- :func:`gc_controlled` — collect before a timed pass and keep the
+  collector out of it.  Measured passes build fresh operators whose
+  bound-method callbacks form reference cycles, so dead passes linger
+  until a collection; collections *inside* a short pass tax it far more
+  per tuple than a long one, and garbage left by previous passes
+  degrades the allocator for later ones — skewing exactly the ratios
+  the runners exist to report.  Collecting before every pass and
+  disabling the collector during it makes per-tuple cost independent of
+  both slice length and pass order.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+
+
+def best_rate(fn, iterations: int, repeat: int = 3) -> float:
+    """Best-of-N ops/sec for ``fn(iterations)`` (iterations = tuples)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(iterations)
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+@contextmanager
+def gc_controlled():
+    """One timed pass: collect first, keep the collector out of it."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()

@@ -35,6 +35,7 @@ import sys
 import time
 from pathlib import Path
 
+from benchmarks._timing import best_rate as _best_rate
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
 from repro.pubsub.broker import BrokerNetwork
@@ -55,16 +56,6 @@ SPEEDUP_FLOORS = {"publish_fanout": 3.0, "send_deliver": 2.0}
 
 #: batch=1 may regress at most this much against BENCH_3's ``none`` runs.
 REGRESSION_BOUND_PCT = 5.0
-
-
-def _best_rate(fn, iterations: int, repeat: int = 3) -> float:
-    """Best-of-N ops/sec for ``fn(iterations)`` (iterations = tuples)."""
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn(iterations)
-        best = min(best, time.perf_counter() - start)
-    return iterations / best
 
 
 def _make_tuple(i: int) -> SensorTuple:

@@ -34,6 +34,7 @@ import json
 import time
 from pathlib import Path
 
+from benchmarks._timing import best_rate as _best_rate
 from repro.expr.eval import compile_expression
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
@@ -55,16 +56,6 @@ EXPRESSIONS = [
 ]
 
 PAYLOAD = {"temperature": 26.5, "humidity": 0.55, "station": "umeda-north"}
-
-
-def _best_rate(fn, iterations: int, repeat: int = 3) -> float:
-    """Best-of-N ops/sec for ``fn(iterations)``."""
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn(iterations)
-        best = min(best, time.perf_counter() - start)
-    return iterations / best
 
 
 def _make_tuple(i: int, station: str, value: float, at: float = 0.0) -> SensorTuple:

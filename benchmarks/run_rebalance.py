@@ -42,12 +42,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import gc
 import json
 import sys
 import time
-from contextlib import contextmanager
 from pathlib import Path
+
+from benchmarks._timing import gc_controlled as _gc_controlled
 
 from repro.streams.aggregate import AggregationOperator
 from repro.streams.shard import (
@@ -121,20 +121,6 @@ def _make_agg() -> AggregationOperator:
 
 
 # -- measurements -----------------------------------------------------------
-
-
-@contextmanager
-def _gc_controlled():
-    """One timed pass: collect first, keep the collector out of it (the
-    same discipline as BENCH_5 — see ``run_shard`` for the rationale)."""
-    gc.collect()
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
 
 
 def _epoch_cost_unsharded(tuples: "list[SensorTuple]", repeat: int) -> float:

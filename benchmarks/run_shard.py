@@ -33,12 +33,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import gc
 import json
 import sys
 import time
-from contextlib import contextmanager
 from pathlib import Path
+
+from benchmarks._timing import gc_controlled as _gc_controlled
 
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
@@ -111,29 +111,6 @@ def _make_agg() -> AggregationOperator:
 
 
 # -- measurements -----------------------------------------------------------
-
-
-@contextmanager
-def _gc_controlled():
-    """One timed pass: collect first, keep the collector out of it.
-
-    Every measured pass builds a fresh operator whose ``on_evict`` bound
-    method forms a reference cycle, so dead passes linger until a
-    collection.  Collections *inside* a short timed pass tax it far more
-    per tuple than a long one, and garbage left by *previous* passes
-    degrades the allocator for later ones — skewing exactly the ratios
-    this benchmark exists to report.  Collecting before every pass and
-    disabling the collector during it makes per-tuple cost independent
-    of both slice length and pass order.
-    """
-    gc.collect()
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
 
 
 def _epoch_cost_unsharded(tuples: "list[SensorTuple]") -> float:

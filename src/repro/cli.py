@@ -78,7 +78,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                         seed=args.seed, batching=_batching_from(args))
     flow = osaka_scenario_flow(stack)
     deployment = stack.executor.deploy(flow, shards=_shards_from(args),
-                                       elastic=_apply_rebalance(args, stack))
+                                       elastic=_apply_rebalance(args, stack),
+                                       fuse=not args.no_fuse)
     stack.run_until(args.hours * 3600.0)
 
     print(stack.executor.monitor.render_dashboard())
@@ -118,8 +119,11 @@ def _run_observed(args: argparse.Namespace):
         flow = sharded_aggregation_flow(stack)
     else:
         flow = _load_canvas(name)
-    deployment = stack.executor.deploy(flow, shards=_shards_from(args),
-                                       elastic=_apply_rebalance(args, stack))
+    deployment = stack.executor.deploy(
+        flow, shards=_shards_from(args),
+        elastic=_apply_rebalance(args, stack),
+        fuse=not getattr(args, "no_fuse", False),
+    )
     stack.run_until(args.hours * 3600.0)
     return stack, deployment
 
@@ -250,6 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--split-hot-keys", action="store_true",
                           help="allow the rebalancer to split one hot key "
                                "across replicas (implies --rebalance)")
+    scenario.add_argument("--no-fuse", action="store_true",
+                          help="disable operator fusion (each non-blocking "
+                               "operator keeps its own process)")
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -304,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--split-hot-keys", action="store_true",
                        help="allow the rebalancer to split one hot key "
                             "across replicas (implies --rebalance)")
+    trace.add_argument("--no-fuse", action="store_true",
+                       help="disable operator fusion (each non-blocking "
+                            "operator keeps its own process)")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -336,6 +346,9 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--split-hot-keys", action="store_true",
                          help="allow the rebalancer to split one hot key "
                               "across replicas (implies --rebalance)")
+    metrics.add_argument("--no-fuse", action="store_true",
+                         help="disable operator fusion (each non-blocking "
+                              "operator keeps its own process)")
     metrics.set_defaults(func=_cmd_metrics)
     return parser
 

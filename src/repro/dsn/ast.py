@@ -132,6 +132,26 @@ class DsnShard:
 
 
 @dataclass(frozen=True)
+class DsnFuse:
+    """An operator-fusion hint: host a chain of non-blocking operators
+    in one process.
+
+    Deployment metadata, not dataflow semantics — the conceptual flow is
+    unchanged; the executor runs the ``members`` chain as a single
+    :class:`~repro.streams.fused.FusedOperator` process, eliding the
+    interior publish/transmit/deliver hops.  A program without ``fuse``
+    clauses still fuses by default (the planner derives maximal chains at
+    deploy time); an explicit clause pins the plan.
+    """
+
+    members: tuple[str, ...]
+
+    def render(self) -> str:
+        chain = " -> ".join(f'"{member}"' for member in self.members)
+        return f"  fuse {chain};"
+
+
+@dataclass(frozen=True)
 class DsnControl:
     """A control edge: a trigger service governing a source service."""
 
@@ -151,6 +171,7 @@ class DsnProgram:
     channels: list[DsnChannel] = field(default_factory=list)
     controls: list[DsnControl] = field(default_factory=list)
     shards: list[DsnShard] = field(default_factory=list)
+    fuses: list[DsnFuse] = field(default_factory=list)
 
     def service(self, name: str) -> DsnService:
         for service in self.services:
@@ -207,6 +228,28 @@ class DsnProgram:
                     f"duplicate shard directive for {shard.service!r}"
                 )
             sharded.add(shard.service)
+        fused = set()
+        for fuse in self.fuses:
+            if len(fuse.members) < 2:
+                raise DsnError(
+                    f"fuse hint {list(fuse.members)!r} needs at least 2 "
+                    "services"
+                )
+            for member in fuse.members:
+                if member not in names:
+                    raise DsnError(
+                        f"fuse references undeclared service {member!r}"
+                    )
+                if self.service(member).role is not ServiceRole.OPERATOR:
+                    raise DsnError(
+                        f"fuse member {member!r} is not an operator"
+                    )
+                if member in fused:
+                    raise DsnError(
+                        f"service {member!r} appears in more than one "
+                        "fuse hint"
+                    )
+                fused.add(member)
 
     def render(self) -> str:
         """The canonical textual form (stable: services/edges in order)."""
@@ -217,9 +260,11 @@ class DsnProgram:
             lines.append(channel.render())
         for control in self.controls:
             lines.append(control.render())
-        # Shards render last so shard-free programs (and their golden
-        # files) keep the historical textual form.
+        # Shards and fuse hints render last so programs without them (and
+        # their golden files) keep the historical textual form.
         for shard in self.shards:
             lines.append(shard.render())
+        for fuse in self.fuses:
+            lines.append(fuse.render())
         lines.append("}")
         return "\n".join(lines) + "\n"

@@ -16,6 +16,7 @@ from repro.errors import DsnParseError
 from repro.dsn.ast import (
     DsnChannel,
     DsnControl,
+    DsnFuse,
     DsnProgram,
     DsnService,
     DsnShard,
@@ -46,6 +47,9 @@ _SHARD_RE = re.compile(
     r'(?:\s+(elastic))?;$'
 )
 _SHARD_KEY_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_FUSE_RE = re.compile(
+    r'^fuse\s+("(?:[^"\\]|\\.)*"(?:\s*->\s*"(?:[^"\\]|\\.)*")+);$'
+)
 
 
 def _unescape(text: str) -> str:
@@ -160,6 +164,17 @@ def parse_dsn(text: str) -> DsnProgram:
                         for key in _SHARD_KEY_RE.findall(keys_text)
                     ),
                     elastic=match.group(4) is not None,
+                )
+            )
+            continue
+        match = _FUSE_RE.match(line)
+        if match:
+            program.fuses.append(
+                DsnFuse(
+                    members=tuple(
+                        _unescape(member)
+                        for member in _SHARD_KEY_RE.findall(match.group(1))
+                    )
                 )
             )
             continue

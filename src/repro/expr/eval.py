@@ -15,7 +15,7 @@ messages on the same inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.errors import (
     EvaluationError,
@@ -35,6 +35,10 @@ from repro.expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
 from repro.expr.parser import parse
 from repro.schema.schema import StreamSchema
 from repro.schema.types import AttributeType
+
+#: Shared empty qualified-payload binding for the bound single-payload
+#: evaluators.  Compiled closures only read from it.
+_NO_QUALIFIED: dict = {}
 
 
 @dataclass
@@ -210,6 +214,47 @@ class CompiledExpression:
                 f"condition {self.source!r} returned non-boolean {result!r}"
             )
         return result
+
+    # -- hot-path entries --------------------------------------------------
+    #
+    # ``evaluate``/``evaluate_bool`` allocate a ``**qualified`` dict on
+    # every call even though per-tuple operators never pass qualified
+    # payloads.  The bound closures below are for exactly that case —
+    # operators grab one at construction and run it per tuple.
+
+    def bind(self) -> "Callable[[Mapping], object]":
+        """A single-payload evaluator: ``closure(values) -> result``.
+
+        Semantically identical to ``evaluate(values)`` — same result,
+        same :class:`ExpressionError` subclasses on malformed input.
+        """
+        fast = self.prepare()._fast
+        assert fast is not None
+
+        def run(values: "Mapping") -> object:
+            return fast(values, _NO_QUALIFIED)
+
+        return run
+
+    def bind_bool(self) -> "Callable[[Mapping], bool]":
+        """A single-payload condition: ``closure(values) -> bool``.
+
+        Semantically identical to ``evaluate_bool(values)`` including the
+        non-boolean-result error.
+        """
+        fast = self.prepare()._fast
+        assert fast is not None
+        source = self.source
+
+        def run_bool(values: "Mapping") -> bool:
+            result = fast(values, _NO_QUALIFIED)
+            if result is True or result is False:
+                return result
+            raise EvaluationError(
+                f"condition {source!r} returned non-boolean {result!r}"
+            )
+
+        return run_bool
 
     def type_check(
         self,

@@ -87,8 +87,15 @@ class NetworkNode:
         self._demands[process_id] = max(0.0, demand)
 
     def account_work(self, cost_units: float) -> None:
-        """Record executed work (for cumulative per-node statistics)."""
-        self.work_done += max(0.0, cost_units)
+        """Record executed work (for cumulative per-node statistics).
+
+        Runs once per received tuple/batch on every node — the write goes
+        straight to the instance dict to skip the liveness-interception
+        ``__setattr__`` (which only cares about ``up``).
+        """
+        if cost_units > 0.0:
+            state = self.__dict__
+            state["work_done"] = state["work_done"] + cost_units
 
     @property
     def processes(self) -> tuple[str, ...]:

@@ -88,6 +88,13 @@ class Deployment:
         #: :attr:`processes` under ``"<service>#<index>"`` keys and the
         #: merge stage under ``"<service>#merge"``.
         self.shard_groups: dict[str, ShardGroup] = {}
+        #: member service name -> the fused process key ("a+b+c") hosting
+        #: it.  Fused chains collapse a run of non-blocking services into
+        #: one process (see :mod:`repro.dataflow.fusion`); the members do
+        #: not appear in :attr:`processes` individually.
+        self.fused: dict[str, str] = {}
+        #: fused process key -> its member service names, in chain order.
+        self.fused_chains: dict[str, tuple[str, ...]] = {}
         self.bindings: dict[str, _SourceBinding] = {}
         self.placements: dict[str, PlacementDecision] = {}
         self.collectors: dict[str, ListSink] = {}
@@ -106,8 +113,11 @@ class Deployment:
     # -- accessors ----------------------------------------------------------
 
     def process(self, service_name: str) -> OperatorProcess:
+        """The process hosting a service (a fused member resolves to the
+        chain's shared process)."""
+        key = self.fused.get(service_name, service_name)
         try:
-            return self.processes[service_name]
+            return self.processes[key]
         except KeyError:
             raise DeploymentError(
                 f"no process for service {service_name!r} in {self.name!r}"
@@ -363,6 +373,7 @@ class Executor:
         flow_or_program: "Dataflow | DsnProgram",
         shards: "int | dict[str, int] | None" = None,
         elastic: bool = False,
+        fuse: bool = True,
     ) -> Deployment:
         """Translate (if needed), place, spawn, wire, and start a dataflow.
 
@@ -373,6 +384,13 @@ class Executor:
         rebalance loop (``--rebalance``).  A DSN program passed directly
         already carries its ``shard`` clauses, so both are only honoured
         for :class:`Dataflow` input.
+
+        ``fuse`` (default on) runs the operator-fusion planner
+        (:func:`repro.dataflow.fusion.chains_for`): maximal chains of
+        non-blocking operators on private single-in/single-out channels
+        are hosted in one process each, eliding the interior hops.  A
+        program's explicit ``fuse`` clauses pin the plan; ``fuse=False``
+        is the ``--no-fuse`` escape hatch.
         """
         if isinstance(flow_or_program, Dataflow):
             flow = flow_or_program
@@ -395,6 +413,26 @@ class Executor:
         sensor_bindings = self.scn.discover(program, self.broker_network.registry)
         demands = self._estimate_demands(program, sensor_bindings)
         placements = self.scn.place(program, sensor_bindings, demands)
+
+        # Fusion plan: collapse each chain's members onto the head's
+        # placement *before* QoS admission, so admitted latencies reflect
+        # the elided (zero-distance) interior hops.
+        from repro.dataflow.fusion import chains_for
+
+        chains = chains_for(program, fuse=fuse)
+        member_of: dict[str, tuple[str, ...]] = {}
+        for chain in chains:
+            head = placements[chain[0]]
+            for name in chain:
+                member_of[name] = chain
+                if name != chain[0]:
+                    placements[name] = PlacementDecision(
+                        service=name,
+                        node_id=head.node_id,
+                        score=head.score,
+                        reason=f"fused with {chain[0]}",
+                    )
+
         self.scn.admit_qos(program, placements)
         deployment.placements = placements
 
@@ -429,6 +467,11 @@ class Executor:
                     demands,
                 )
                 continue
+            if service.name in member_of:
+                chain = member_of[service.name]
+                if service.name == chain[0]:
+                    self._spawn_fused(deployment, chain, placements, demands)
+                continue
             operator = self._build_runtime(service, deployment)
             if self.obs is not None:
                 operator.lineage = self.obs.lineage
@@ -448,6 +491,12 @@ class Executor:
 
         # Wire channels.
         for channel in program.channels:
+            if (
+                channel.source in deployment.fused
+                and deployment.fused[channel.source]
+                == deployment.fused.get(channel.target)
+            ):
+                continue  # fused-interior hop: traversed inside one process
             qos = program.service(channel.target).qos
             if channel.target in deployment.shard_groups:
                 # Deliveries into a sharded operator are key-partitioned
@@ -467,7 +516,10 @@ class Executor:
                         group, port=channel.port, qos=qos
                     )
                 continue
-            target = deployment.processes[channel.target]
+            # A channel into a fused chain can only target its head (the
+            # planner guarantees interior members have no other feeder),
+            # and the head resolves to the chain's shared process.
+            target = deployment.process(channel.target)
             if channel.source in deployment.bindings:
                 self._bind_source(deployment, channel.source, target, channel.port)
                 if channel.batch > 1:
@@ -557,6 +609,84 @@ class Executor:
         deployment.bindings[service_name].subscriptions.append(subscription)
         deployment._sub_targets[subscription.subscription_id] = target
 
+    # -- fused chains ------------------------------------------------------------
+
+    def _spawn_fused(
+        self,
+        deployment: Deployment,
+        chain: "tuple[str, ...]",
+        placements: dict[str, PlacementDecision],
+        demands: dict[str, float],
+    ) -> None:
+        """Spawn one process hosting a whole fused non-blocking chain.
+
+        The process is keyed and named ``"a+b+c"`` after its members,
+        placed on the chain head's node, and booked with the chain's
+        *max* member demand (the members see the same stream, so their
+        demands overlap rather than add; the summed per-tuple cost is
+        carried by the fused operator's ``cost_per_tuple``).
+        """
+        from repro.streams.fused import FUSED_NAME_SEPARATOR, FusedOperator
+
+        program = deployment.program
+        members = []
+        for name in chain:
+            operator = self._build_runtime(program.service(name), deployment)
+            # Spans and describe() should carry the service names the
+            # designer knows, not the operator class names.
+            operator.name = name
+            if self.obs is not None:
+                operator.lineage = self.obs.lineage
+            members.append(operator)
+        key = FUSED_NAME_SEPARATOR.join(chain)
+        fused = FusedOperator(members, name=key)
+        if self.obs is not None:
+            fused.lineage = self.obs.lineage
+            fused.bind_obs(
+                self.obs.metrics,
+                [f"{program.name}:{name}" for name in chain],
+            )
+        process = OperatorProcess(
+            process_id=f"{program.name}:{key}",
+            operator=fused,
+            node_id=placements[chain[0]].node_id,
+            netsim=self.netsim,
+            obs=self.obs,
+        )
+        if fused.checkpointable:
+            process.enable_checkpoints(self.checkpoint_interval)
+        node = self.netsim.topology.node(process.node_id)
+        process.placement_demand = max(
+            demands.get(name, 0.0) for name in chain
+        )
+        node.update_demand(process.process_id, process.placement_demand)
+        head = placements[chain[0]]
+        deployment.processes[key] = process
+        deployment.placements[key] = PlacementDecision(
+            service=key,
+            node_id=head.node_id,
+            score=head.score,
+            reason=head.reason,
+        )
+        deployment.fused_chains[key] = chain
+        for name in chain:
+            deployment.fused[name] = key
+
+    def _chain_placements(
+        self, deployment: Deployment, key: str, node_id: str,
+        score: float, reason: str,
+    ) -> None:
+        """Keep fused members' placement records on the chain's node.
+
+        Channels name the conceptual member services, so replacement and
+        placement lookups read the member entries; they must follow the
+        shared process wherever it moves.
+        """
+        for member in deployment.fused_chains.get(key, ()):
+            deployment.placements[member] = PlacementDecision(
+                service=member, node_id=node_id, score=score, reason=reason,
+            )
+
     # -- sharded operators -------------------------------------------------------
 
     def _outgoing_process(
@@ -565,14 +695,15 @@ class Executor:
         """The process that emits a service's output downstream.
 
         For a sharded service that is its merge stage (shards feed the
-        merge, the merge feeds the rest of the flow); otherwise the
-        service's own process.
+        merge, the merge feeds the rest of the flow); for a fused member
+        the chain's shared process (only the tail has outward channels);
+        otherwise the service's own process.
         """
         group = deployment.shard_groups.get(service_name)
         if group is not None:
             assert group.merge is not None
             return group.merge
-        return deployment.processes[service_name]
+        return deployment.process(service_name)
 
     def _spawn_sharded(
         self,
@@ -774,6 +905,9 @@ class Executor:
                 score=0.0,
                 reason=move.reason,
             )
+            self._chain_placements(
+                deployment, name, move.to_node, 0.0, move.reason
+            )
             # Subscriptions feeding the moved process follow it.
             for binding in deployment.bindings.values():
                 for subscription in binding.subscriptions:
@@ -830,6 +964,12 @@ class Executor:
             # Shard and merge processes are keyed "<service>#<suffix>" but
             # the program's channels name the conceptual service.
             base = name.split("#", 1)[0]
+            # A fused process is keyed "a+b+c"; the channels feeding it
+            # name its head member, and the whole chain re-places as one
+            # unit (it *is* one process).
+            chain = deployment.fused_chains.get(base)
+            if chain is not None:
+                base = chain[0]
             upstream_nodes = [
                 deployment.placements[channel.source].node_id
                 for channel in deployment.program.channels_into(base)
@@ -864,6 +1004,9 @@ class Executor:
                 node_id=decision.node_id,
                 score=decision.score,
                 reason=reason,
+            )
+            self._chain_placements(
+                deployment, name, decision.node_id, decision.score, reason
             )
             self.monitor.record_assignment(
                 process.process_id, origin, decision.node_id, reason

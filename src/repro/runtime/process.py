@@ -81,7 +81,11 @@ class OperatorProcess:
         #: recorded only for tuples already carrying a trace context.
         self.obs = obs
         self._tuples_counter = None
-        if obs is not None:
+        if obs is not None and not getattr(operator, "owns_tuple_metrics", False):
+            # A fused chain reports ``process_tuples_total`` under its
+            # *member* process labels (``FusedOperator.bind_obs``), not a
+            # collapsed ``a+b+c`` label — per-operator counts must
+            # survive the process renaming.
             self._tuples_counter = obs.metrics.counter(
                 "process_tuples_total",
                 "tuples received by an operator process",
@@ -110,7 +114,13 @@ class OperatorProcess:
         #: flushes then forward as batches too, keeping the whole chain on
         #: the amortized path without changing batch=1 behaviour at all.
         self._batching = False
-        netsim.topology.node(node_id).register_process(process_id)
+        #: Hosting node object, kept in step with ``node_id`` by
+        #: :meth:`move_to` — the data path checks liveness and charges
+        #: work per tuple, and a topology lookup per reading is pure
+        #: overhead.  Node objects are stable: fail/recover mutate them
+        #: in place.
+        self._node = netsim.topology.node(node_id)
+        self._node.register_process(process_id)
 
     # -- wiring ------------------------------------------------------------
 
@@ -165,6 +175,7 @@ class OperatorProcess:
             old.unregister_process(self.process_id)
         new.register_process(self.process_id, demand)
         self.node_id = node_id
+        self._node = new
 
     # -- fault tolerance ---------------------------------------------------------
 
@@ -238,14 +249,15 @@ class OperatorProcess:
         """Process one tuple: run the operator, forward emissions."""
         if self._stopped:
             return  # in-flight stragglers after teardown are discarded
-        node = self.netsim.topology.node(self.node_id)
+        node = self._node
         if not node.up:
             return  # a dead node processes nothing
         node.account_work(self.operator.cost_per_tuple)
         obs = self.obs
         emitted = self.operator.on_tuple(tuple_, port=port)
         if obs is not None:
-            self._tuples_counter.inc()
+            if self._tuples_counter is not None:
+                self._tuples_counter.inc()
             ctx = tuple_.trace
             if ctx is not None:
                 span = obs.tracer.span(
@@ -271,7 +283,7 @@ class OperatorProcess:
         """
         if self._stopped:
             return
-        node = self.netsim.topology.node(self.node_id)
+        node = self._node
         if not node.up:
             return
         count = len(batch)
@@ -282,7 +294,8 @@ class OperatorProcess:
         obs = self.obs
         emitted = self.operator.on_batch(batch, port=port)
         if obs is not None:
-            self._tuples_counter.inc(count)
+            if self._tuples_counter is not None:
+                self._tuples_counter.inc(count)
             if any(t.trace is not None for t in batch):
                 now = self.netsim.clock.now
                 span_name = self.operator.span_name
@@ -303,7 +316,7 @@ class OperatorProcess:
             self._forward_batch(emitted)
 
     def _fire_timer(self) -> None:
-        node = self.netsim.topology.node(self.node_id)
+        node = self._node
         if not node.up:
             return
         now = self.netsim.clock.now

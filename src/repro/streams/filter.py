@@ -22,22 +22,25 @@ class FilterOperator(NonBlockingOperator):
         # Lower to the fast evaluator now: filters run per tuple on the
         # hot path, the first reading should not pay the compile.
         self.condition = condition.prepare()
+        self._predicate = self.condition.bind_bool()
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
-        if self.condition.evaluate_bool(tuple_.values()):
+        # The predicate only reads, so it runs against the immutable
+        # payload mapping directly — no per-tuple dict copy.
+        if self._predicate(tuple_.payload):
             return [tuple_]
         return []
 
     def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
         # Batch fast path: the compiled predicate is bound once and run in
         # a tight loop; failing tuples are quarantined individually.
-        evaluate = self.condition.evaluate_bool
+        evaluate = self._predicate
         out: list[SensorTuple] = []
         append = out.append
         errors = 0
         for tuple_ in tuples:
             try:
-                if evaluate(tuple_.values()):
+                if evaluate(tuple_.payload):
                     append(tuple_)
             except ExpressionError:
                 errors += 1

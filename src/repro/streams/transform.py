@@ -51,24 +51,30 @@ class TransformOperator(NonBlockingOperator):
         }
         self.rename = dict(rename or {})
         self.project = list(project) if project is not None else None
+        self._assign = [
+            (attr, expr.bind()) for attr, expr in self.assignments.items()
+        ]
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
-        values = tuple_.values()
+        # Assignments see the original (immutable) payload — evaluating
+        # against it directly both skips a dict copy and makes the
+        # order-independence guarantee structural.
+        values = tuple_.payload
         updated = dict(values)
-        for attr, expr in self.assignments.items():
-            updated[attr] = expr.evaluate(values)
+        for attr, evaluate in self._assign:
+            updated[attr] = evaluate(values)
         if self.rename:
             updated = {
                 self.rename.get(name, name): value for name, value in updated.items()
             }
         if self.project is not None:
             updated = {name: updated[name] for name in self.project}
-        return [tuple_.with_payload(updated)]
+        return [tuple_.with_owned_payload(updated)]
 
     def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
         # Batch fast path: assignments/rename/project are bound once; each
         # member is rewritten in a tight loop with per-tuple quarantine.
-        assignments = self.assignments
+        assign = self._assign
         rename = self.rename
         project = self.project
         out: list[SensorTuple] = []
@@ -76,10 +82,10 @@ class TransformOperator(NonBlockingOperator):
         errors = 0
         for tuple_ in tuples:
             try:
-                values = tuple_.values()
+                values = tuple_.payload
                 updated = dict(values)
-                for attr, expr in assignments.items():
-                    updated[attr] = expr.evaluate(values)
+                for attr, evaluate in assign:
+                    updated[attr] = evaluate(values)
                 if rename:
                     updated = {
                         rename.get(name, name): value
@@ -87,7 +93,7 @@ class TransformOperator(NonBlockingOperator):
                     }
                 if project is not None:
                     updated = {name: updated[name] for name in project}
-                append(tuple_.with_payload(updated))
+                append(tuple_.with_owned_payload(updated))
             except ExpressionError:
                 errors += 1
         if errors:
@@ -120,11 +126,12 @@ class ValidateOperator(NonBlockingOperator):
             (compile_expression(rule) if isinstance(rule, str) else rule).prepare()
             for rule in rules
         ]
+        self._checks = [rule.bind_bool() for rule in self.rules]
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
-        values = tuple_.values()
-        for rule in self.rules:
-            if not rule.evaluate_bool(values):
+        values = tuple_.payload  # rules only read; no per-tuple copy
+        for check in self._checks:
+            if not check(values):
                 self.stats.errors += 1
                 return []
         return [tuple_]
@@ -132,15 +139,15 @@ class ValidateOperator(NonBlockingOperator):
     def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
         # Batch fast path: the rule list is bound once; violators and
         # evaluation failures are quarantined tuple by tuple.
-        rules = self.rules
+        checks = self._checks
         out: list[SensorTuple] = []
         append = out.append
         errors = 0
         for tuple_ in tuples:
-            values = tuple_.values()
+            values = tuple_.payload
             try:
-                for rule in rules:
-                    if not rule.evaluate_bool(values):
+                for check in checks:
+                    if not check(values):
                         errors += 1
                         break
                 else:

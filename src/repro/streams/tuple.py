@@ -7,7 +7,7 @@ layers can amortize their per-message framing costs over many tuples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 from types import MappingProxyType
 
@@ -59,22 +59,65 @@ class SensorTuple:
         """A mutable copy of the payload (for expression evaluation)."""
         return dict(self.payload)
 
+    # The copy-with-changes methods below run per tuple per operator on
+    # the data plane; ``dataclasses.replace`` re-enters the generated
+    # ``__init__`` and ``__post_init__`` (re-wrapping the payload it just
+    # unwrapped), which costs several times a direct field assembly.
+    def _clone(
+        self,
+        payload: Mapping[str, object],
+        stamp: SttStamp,
+        source: str,
+        seq: int,
+        trace: "TraceContext | None",
+    ) -> "SensorTuple":
+        clone = SensorTuple.__new__(SensorTuple)
+        set_ = object.__setattr__
+        set_(clone, "payload", payload)
+        set_(clone, "stamp", stamp)
+        set_(clone, "source", source)
+        set_(clone, "seq", seq)
+        set_(clone, "trace", trace)
+        return clone
+
+    def _clone_same_payload(self, stamp, source, trace) -> "SensorTuple":
+        clone = self._clone(self.payload, stamp, source, self.seq, trace)
+        size = self.__dict__.get("_wire_size")
+        if size is not None:  # size depends only on the (shared) payload
+            object.__setattr__(clone, "_wire_size", size)
+        return clone
+
     def with_payload(self, payload: Mapping[str, object]) -> "SensorTuple":
-        return replace(self, payload=MappingProxyType(dict(payload)))
+        return self._clone(
+            MappingProxyType(dict(payload)),
+            self.stamp, self.source, self.seq, self.trace,
+        )
+
+    def with_owned_payload(self, payload: "dict[str, object]") -> "SensorTuple":
+        """Like :meth:`with_payload` for a dict the caller just built and
+        transfers ownership of — skips the defensive copy.  The caller
+        must not mutate ``payload`` afterwards."""
+        return self._clone(
+            MappingProxyType(payload),
+            self.stamp, self.source, self.seq, self.trace,
+        )
 
     def with_updates(self, **updates: object) -> "SensorTuple":
         merged = dict(self.payload)
         merged.update(updates)
-        return self.with_payload(merged)
+        return self._clone(
+            MappingProxyType(merged),
+            self.stamp, self.source, self.seq, self.trace,
+        )
 
     def with_stamp(self, stamp: SttStamp) -> "SensorTuple":
-        return replace(self, stamp=stamp)
+        return self._clone_same_payload(stamp, self.source, self.trace)
 
     def with_trace(self, trace: "TraceContext | None") -> "SensorTuple":
-        return replace(self, trace=trace)
+        return self._clone_same_payload(self.stamp, self.source, trace)
 
     def relabelled(self, source: str) -> "SensorTuple":
-        return replace(self, source=source)
+        return self._clone_same_payload(self.stamp, source, self.trace)
 
     def to_event(self, value_attribute: "str | None" = None) -> Event:
         """Project this tuple to an STT :class:`Event` for warehousing.
@@ -138,7 +181,14 @@ def estimate_size_bytes(tuple_: SensorTuple) -> int:
     A fixed per-tuple envelope (stamp + provenance) plus a per-attribute
     cost by type.  Deliberately simple and deterministic — relative sizes
     between streams are what the placement ablation measures.
+
+    Memoized per tuple: the payload is immutable, but the same reading is
+    sized once per hop it travels, and multi-hop chains were paying the
+    isinstance walk at every link.
     """
+    cached = tuple_.__dict__.get("_wire_size")
+    if cached is not None:
+        return cached
     size = 48  # envelope: stamp, source, seq
     for name, value in tuple_.payload.items():
         size += len(name)
@@ -152,6 +202,7 @@ def estimate_size_bytes(tuple_: SensorTuple) -> int:
             size += len(value.encode("utf-8"))
         else:
             size += 16
+    object.__setattr__(tuple_, "_wire_size", size)
     return size
 
 

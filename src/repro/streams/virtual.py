@@ -40,32 +40,42 @@ class VirtualPropertyOperator(NonBlockingOperator):
         self.property_name = property_name
         spec = compile_expression(spec) if isinstance(spec, str) else spec
         self.spec = spec.prepare()
+        self._evaluate = self.spec.bind()
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
-        if self.property_name in tuple_:
+        payload = tuple_.payload
+        name = self.property_name
+        if name in payload:
             # Collides with an existing attribute: quarantine, the schema
             # checker would have rejected this dataflow at design time.
             self.stats.errors += 1
             return []
-        value = self.spec.evaluate(tuple_.values())
-        return [tuple_.with_updates(**{self.property_name: value})]
+        value = self._evaluate(payload)
+        updated = dict(payload)
+        updated[name] = value
+        return [tuple_.with_owned_payload(updated)]
 
     def _process_batch(self, tuples, port: int) -> list[SensorTuple]:
         # Batch fast path: the prepared spec is bound once and evaluated in
         # a tight loop; collisions and failures quarantine per tuple.
         name = self.property_name
-        evaluate = self.spec.evaluate
+        evaluate = self._evaluate
         out: list[SensorTuple] = []
         append = out.append
         errors = 0
         for tuple_ in tuples:
-            if name in tuple_:
+            payload = tuple_.payload
+            if name in payload:
                 errors += 1
                 continue
             try:
-                append(tuple_.with_updates(**{name: evaluate(tuple_.values())}))
+                value = evaluate(payload)
             except ExpressionError:
                 errors += 1
+                continue
+            updated = dict(payload)
+            updated[name] = value
+            append(tuple_.with_owned_payload(updated))
         if errors:
             self.stats.errors += errors
         return out

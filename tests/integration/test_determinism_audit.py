@@ -26,6 +26,7 @@ from repro.runtime.rebalance import RebalanceConfig
 from repro.scenario import (
     apply_batch_hints,
     build_stack,
+    fused_pipeline_flow,
     osaka_scenario_flow,
     sharded_aggregation_flow,
 )
@@ -66,13 +67,14 @@ def _observables(stack, deployment, sink_names):
     }
 
 
-def _run(flow_builder, sink_names, shards, elastic=False):
+def _run(flow_builder, sink_names, shards, elastic=False, fuse=True):
     stack = build_stack(hot=True, seed=7, observability=SAMPLING,
                         batching=BATCH)
     if elastic:
         stack.executor.rebalance_config = AGGRESSIVE
     flow = flow_builder(stack)
-    deployment = stack.executor.deploy(flow, shards=shards, elastic=elastic)
+    deployment = stack.executor.deploy(flow, shards=shards, elastic=elastic,
+                                       fuse=fuse)
     apply_batch_hints(deployment, stack.fleet)
     stack.run_until(HOURS * 3600.0)
     return _observables(stack, deployment, sink_names)
@@ -85,8 +87,10 @@ class TestDeterminismAudit:
             (osaka_scenario_flow, ("traffic-collector",), SHARDS, False),
             (sharded_aggregation_flow, ("averages",), SHARDS, False),
             (sharded_aggregation_flow, ("averages",), SHARDS, True),
+            (fused_pipeline_flow, ("fused-out",), None, False),
         ],
-        ids=["osaka-blanket-noop", "stations-sharded", "stations-elastic"],
+        ids=["osaka-blanket-noop", "stations-sharded", "stations-elastic",
+             "fused-chain"],
     )
     def test_same_seed_runs_are_byte_identical(self, flow_builder,
                                                sink_names, shards, elastic):
@@ -113,3 +117,24 @@ class TestDeterminismAudit:
         audit = _run(sharded_aggregation_flow, ("averages",), SHARDS,
                      elastic=True)
         assert audit["migrations"], "hair-trigger policy never acted"
+
+    def test_fused_run_actually_fused(self):
+        """Guard: the fused audit case really collapses the chain."""
+        stack = build_stack(hot=True, seed=7, observability=SAMPLING,
+                            batching=BATCH)
+        deployment = stack.executor.deploy(fused_pipeline_flow(stack))
+        stack.run_until(3600.0)
+        assert deployment.fused_chains == {
+            "keep+double+shift": ("keep", "double", "shift")
+        }
+        assert deployment.collected("fused-out")
+
+    def test_fused_and_unfused_sinks_byte_identical(self):
+        """Fusion is a deployment detail: with every PR-5 knob engaged,
+        the fused run's sink contents equal the unfused run's exactly.
+        (The full observable dict legitimately differs — the elided hops
+        drop transmit metrics and spans.)"""
+        fused = _run(fused_pipeline_flow, ("fused-out",), None)
+        unfused = _run(fused_pipeline_flow, ("fused-out",), None, fuse=False)
+        assert fused["sinks"] == unfused["sinks"]
+        assert fused["dead_letters"] == unfused["dead_letters"]

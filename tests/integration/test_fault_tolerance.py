@@ -380,6 +380,150 @@ class TestShardFaultMatrix:
                 assert faulted.get((time, station)) == value
 
 
+class TestFusedFaultMatrix:
+    """Fault matrix row for the fused data plane (DESIGN.md §14): kill
+    the node hosting a fused chain mid-run.  The chain is one process,
+    so recovery must re-place it as *one unit* — a single assignment
+    change for the ``a+b+c`` process, never per-member moves — and the
+    stream must replay cleanly: the faulted sink is a subset of the
+    no-fault baseline, missing only tuples published inside the outage
+    window.
+    """
+
+    CHAIN = ("keep", "double", "bump")
+    KILL_AT = 630.0
+    #: detection (4 x 30s silence) + re-placement latency.
+    RECOVERED_BY = 900.0
+    END = 1500.0
+
+    def _metadata(self):
+        return SensorMetadata(
+            sensor_id="fused-temp",
+            sensor_type="temperature",
+            schema=StreamSchema.build(
+                {"temperature": "float"},
+                themes=("weather/temperature",),
+            ),
+            frequency=0.5,
+            location=Point(34.69, 135.50),
+            node_id="hub",
+        )
+
+    def _flow(self) -> Dataflow:
+        from repro.dataflow.ops import TransformSpec, VirtualPropertySpec
+
+        flow = Dataflow("fused-ft")
+        flow.add_source(
+            SubscriptionFilter(sensor_type="temperature"), node_id="temp"
+        )
+        flow.add_operator(FilterSpec("temperature > -100"), node_id="keep")
+        flow.add_operator(
+            VirtualPropertySpec("double", "temperature * 2"),
+            node_id="double",
+        )
+        flow.add_operator(
+            TransformSpec(assignments={"temperature": "temperature + 1"}),
+            node_id="bump",
+        )
+        flow.add_sink("collector", node_id="out")
+        flow.connect("temp", "keep")
+        flow.connect("keep", "double")
+        flow.connect("double", "bump")
+        flow.connect("bump", "out")
+        return flow
+
+    def _schedule_readings(self, netsim, network):
+        """Same scripted input for every run: one reading every 2 s."""
+        def publish(seq: int):
+            network.publish_data("fused-temp", SensorTuple(
+                payload={"temperature": 15.0 + seq % 13},
+                stamp=SttStamp(time=netsim.clock.now,
+                               location=Point(34.69, 135.50)),
+                source="fused-temp",
+                seq=seq,
+            ))
+
+        for seq in range(int(self.END / 2.0)):
+            netsim.clock.schedule(2.0 * seq + 1.0,
+                                  lambda seq=seq: publish(seq))
+
+    def _deploy(self):
+        netsim = NetworkSimulator(topology=Topology.star(leaf_count=5))
+        network = BrokerNetwork(netsim=netsim)
+        executor = Executor(
+            netsim, network, scn=ScnController(netsim.topology)
+        )
+        network.publish(self._metadata())
+        deployment = executor.deploy(self._flow())
+        self._schedule_readings(netsim, network)
+        return netsim, executor, deployment
+
+    def _chain_process(self, netsim, deployment):
+        """The fused process, evicted to its own leaf so killing it
+        cannot sever the hub (the sensor's node)."""
+        key = "+".join(self.CHAIN)
+        assert deployment.fused_chains == {key: self.CHAIN}
+        process = deployment.processes[key]
+        occupied = {p.node_id for n, p in deployment.processes.items()
+                    if n != key}
+        if process.node_id in occupied | {"hub"}:
+            spare = next(
+                node.node_id for node in netsim.topology.live_nodes()
+                if node.node_id != "hub" and node.node_id not in occupied
+            )
+            process.move_to(spare)
+        return key, process
+
+    def test_chain_re_placed_as_one_unit(self):
+        netsim, executor, deployment = self._deploy()
+        netsim.clock.run_until(self.KILL_AT)
+        key, process = self._chain_process(netsim, deployment)
+        victim = process.node_id
+        netsim.kill_node(victim)
+        netsim.clock.run_until(self.RECOVERED_BY)
+
+        assert process.node_id != victim
+        assert netsim.topology.node(process.node_id).up
+        # Every member resolves to the same (moved) process: one unit.
+        for member in self.CHAIN:
+            assert deployment.process(member) is process
+            assert deployment.placements[member].node_id == process.node_id
+        # Exactly one assignment change for the chain, none per member.
+        down = [change for change in executor.monitor.assignment_log
+                if "down" in change.reason and change.from_node == victim]
+        changed = [change.process_id for change in down]
+        assert changed.count(f"fused-ft:{key}") == 1
+        assert not any(
+            change_id.endswith(f":{member}")
+            for change_id in changed for member in self.CHAIN
+        )
+
+        netsim.clock.run_until(self.END)
+        assert deployment.state is DeploymentState.RUNNING
+        assert len(deployment.collected("out")) > 0
+
+    def test_replay_clean_modulo_outage_window(self):
+        def run(kill: bool):
+            netsim, _, deployment = self._deploy()
+            netsim.clock.run_until(self.KILL_AT)
+            if kill:
+                _, process = self._chain_process(netsim, deployment)
+                netsim.kill_node(process.node_id)
+            netsim.clock.run_until(self.END)
+            return {t.seq: t.stamp.time
+                    for t in deployment.collected("out")}
+
+        baseline = run(kill=False)
+        faulted = run(kill=True)
+        # At-most-once: nothing invented, nothing duplicated (seq-keyed).
+        assert set(faulted) <= set(baseline)
+        for seq in set(baseline) - set(faulted):
+            # Only tuples published during the outage may be missing.
+            assert self.KILL_AT <= baseline[seq] <= self.RECOVERED_BY
+        # And tuples from after recovery did arrive.
+        assert any(time > self.RECOVERED_BY for time in faulted.values())
+
+
 class TestElasticFaultMatrix:
     """Chaos rows for the elastic rebalance plane (DESIGN.md §13):
     {kill the donor before the handoff, kill the recipient before the

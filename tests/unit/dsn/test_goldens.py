@@ -182,6 +182,32 @@ def p6_elastic_stations_flow() -> Dataflow:
     return flow
 
 
+def p7_fused_pipeline_flow() -> Dataflow:
+    """PR-7 fusion design: a 4-op non-blocking chain pinned into one
+    process via the ``fuse`` clause."""
+    flow = Dataflow("p7-fused-pipeline")
+    temp = flow.add_source(
+        SubscriptionFilter(sensor_type="temperature"), node_id="temp"
+    )
+    hot = flow.add_operator(FilterSpec("temperature > 24"), node_id="hot")
+    to_f = flow.add_operator(
+        TransformSpec(
+            {"temperature": "convert(temperature, 'celsius', 'fahrenheit')"}
+        ),
+        node_id="to-fahrenheit",
+    )
+    apparent = flow.add_operator(
+        VirtualPropertySpec("heat_flag", "temperature > 86"),
+        node_id="apparent",
+    )
+    out = flow.add_sink("collector", node_id="out")
+    flow.connect(temp, hot)
+    flow.connect(hot, to_f)
+    flow.connect(to_f, apparent)
+    flow.connect(apparent, out)
+    return flow
+
+
 FLOWS = {
     "osaka-scenario": osaka_canvas_flow,
     "p1-apparent-temperature": p1_apparent_temperature_flow,
@@ -189,6 +215,7 @@ FLOWS = {
     "p3-fahrenheit-feed": p3_fahrenheit_feed_flow,
     "p5-sharded-stations": p5_sharded_stations_flow,
     "p6-elastic-stations": p6_elastic_stations_flow,
+    "p7-fused-pipeline": p7_fused_pipeline_flow,
 }
 
 #: shard directives passed to the translator per golden flow; flows not
@@ -202,13 +229,17 @@ SHARDS = {
 #: trailing ``elastic`` keyword).
 ELASTIC = {"p6-elastic-stations"}
 
+#: golden flows translated with ``fuse=True`` (the planner's chains are
+#: pinned into explicit ``fuse`` clauses).
+FUSED = {"p7-fused-pipeline"}
+
 
 @pytest.mark.parametrize("name", sorted(FLOWS))
 class TestDsnGoldens:
     def test_translation_matches_golden(self, name, registry, update_goldens):
         text = dataflow_to_dsn(
             FLOWS[name](), registry, shards=SHARDS.get(name),
-            elastic=name in ELASTIC,
+            elastic=name in ELASTIC, fuse=name in FUSED,
         ).render()
         path = GOLDEN_DIR / f"{name}.dsn"
         if update_goldens:
