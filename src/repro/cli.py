@@ -13,12 +13,15 @@ Commands:
   (slowest sink-reaching traces, or the trace of one tuple) with lineage;
 - ``metrics``    — run the scenario and print the metrics registry in
   Prometheus text exposition (or JSON snapshot) form.
+- ``health``     — run a dataflow under SLO rules and print the latency/
+  watermark health screen (or its deterministic JSON payload).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 from repro.dataflow.serialize import dataflow_from_dict
@@ -170,6 +173,84 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(registry.to_json())
     else:
         print(registry.expose(), end="")
+    return 0
+
+
+#: CLI shorthand for one SLO rule: "metric OP threshold [over window]".
+_SLO_EXPR_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|<|>=|>)\s*([0-9.eE+-]+)"
+    r"(?:\s+over\s+([0-9.eE+-]+))?\s*$"
+)
+
+#: Rules installed when ``repro health`` is run without ``--slo``.
+DEFAULT_SLO_EXPRS = (
+    "p99_latency < 5.0",
+    "watermark_lag < 900",
+)
+
+
+def parse_slo_expr(text: str, flow: str):
+    """Parse one ``--slo`` expression into a :class:`DsnSlo` clause."""
+    from repro.dsn.ast import DsnSlo
+
+    match = _SLO_EXPR_RE.match(text)
+    if not match:
+        raise StreamLoaderError(
+            f"cannot parse SLO rule {text!r} "
+            f"(expected: metric OP threshold [over window])"
+        )
+    return DsnSlo(
+        flow=flow,
+        metric=match.group(1),
+        op=match.group(2),
+        threshold=float(match.group(3)),
+        window=float(match.group(4) or 0.0),
+    )
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.dsn.generate import dataflow_to_dsn
+    from repro.obs.render import render_health
+
+    stack = build_stack(
+        hot=not args.cool,
+        extended=args.extended,
+        seed=args.seed,
+        observability=args.sampling if args.sampling > 0 else None,
+        batching=_batching_from(args),
+        latency=True,
+        alert_cadence=args.cadence,
+    )
+    name = args.dataflow
+    if name == "osaka":
+        flow = osaka_scenario_flow(stack)
+    elif name == "stations":
+        flow = sharded_aggregation_flow(stack)
+    else:
+        flow = _load_canvas(name)
+    exprs = args.slo or list(DEFAULT_SLO_EXPRS)
+    program = dataflow_to_dsn(
+        flow,
+        stack.broker_network.registry,
+        shards=_shards_from(args),
+        elastic=_apply_rebalance(args, stack),
+        slos=[parse_slo_expr(expr, flow.name) for expr in exprs],
+    )
+    stack.executor.deploy(program, fuse=not args.no_fuse)
+    engine = stack.executor.alerts
+    if args.watch:
+        interval = max(args.cadence, 3600.0)
+
+        def show() -> None:
+            print(render_health(engine))
+            print()
+
+        stack.clock.schedule_periodic(interval, show, start_delay=interval)
+    stack.run_until(args.hours * 3600.0)
+    if args.json:
+        print(json.dumps(engine.health_json(), sort_keys=True, indent=2))
+    else:
+        print(render_health(engine))
     return 0
 
 
@@ -350,6 +431,54 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable operator fusion (each non-blocking "
                               "operator keeps its own process)")
     metrics.set_defaults(func=_cmd_metrics)
+
+    health = sub.add_parser(
+        "health",
+        help="run a dataflow under SLO rules and print the health screen",
+    )
+    health.add_argument(
+        "dataflow", nargs="?", default="osaka",
+        help="'osaka' (Section 3 scenario), 'stations' (sharded "
+             "per-station averages), or a canvas JSON path",
+    )
+    health.add_argument("--hours", type=float, default=15.0,
+                        help="virtual hours to simulate (default 15)")
+    health.add_argument("--sampling", type=float, default=0.0,
+                        help="trace sampling rate in [0, 1] (default 0.0: "
+                             "latency plane only, no span tracing)")
+    health.add_argument("--slo", action="append", metavar="RULE",
+                        help="an SLO rule 'metric OP threshold [over W]' "
+                             "(repeatable; default: "
+                             + "; ".join(DEFAULT_SLO_EXPRS) + ")")
+    health.add_argument("--cadence", type=float, default=60.0, metavar="S",
+                        help="alert evaluation cadence in virtual seconds "
+                             "(default 60)")
+    health.add_argument("--watch", action="store_true",
+                        help="print the health screen every virtual hour "
+                             "while running")
+    health.add_argument("--json", action="store_true",
+                        help="print the deterministic JSON health payload "
+                             "instead of the screen")
+    health.add_argument("--cool", action="store_true")
+    health.add_argument("--extended", action="store_true")
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--batch", type=int, default=1, metavar="N",
+                        help="micro-batch up to N tuples per source message")
+    health.add_argument("--max-delay", type=float, default=1.0, metavar="S",
+                        help="flush a partial batch after S virtual seconds")
+    health.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="split each partitionable blocking operator "
+                             "into N key-hashed shards")
+    health.add_argument("--rebalance", action="store_true",
+                        help="attach the elastic key-rebalance loop to "
+                             "sharded operators")
+    health.add_argument("--split-hot-keys", action="store_true",
+                        help="allow the rebalancer to split one hot key "
+                             "across replicas (implies --rebalance)")
+    health.add_argument("--no-fuse", action="store_true",
+                        help="disable operator fusion (each non-blocking "
+                             "operator keeps its own process)")
+    health.set_defaults(func=_cmd_health)
     return parser
 
 

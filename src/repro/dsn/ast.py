@@ -152,6 +152,37 @@ class DsnFuse:
 
 
 @dataclass(frozen=True)
+class DsnSlo:
+    """A service-level objective declared against the deployment.
+
+    Deployment metadata, not dataflow semantics: the executor turns each
+    clause into an :class:`~repro.obs.alerts.AlertRule` (and installs the
+    latency plane to feed it).  ``flow`` is a scope label carried into the
+    alert events — usually the dataflow's name.  The clause states the
+    *healthy* objective; the alert fires while it is violated::
+
+        slo "osaka" p99_latency < 5.0 over 60;
+        slo "osaka" watermark_lag < 450 over 0;
+
+    ``window`` is the rolling evaluation window in seconds (0 =
+    instantaneous; for latency quantiles a positive window computes the
+    quantile over only that window's observations — the burn-rate form).
+    """
+
+    flow: str
+    metric: str
+    op: str
+    threshold: float
+    window: float = 0.0
+
+    def render(self) -> str:
+        return (
+            f'  slo "{self.flow}" {self.metric} {self.op} '
+            f"{self.threshold:g} over {self.window:g};"
+        )
+
+
+@dataclass(frozen=True)
 class DsnControl:
     """A control edge: a trigger service governing a source service."""
 
@@ -172,6 +203,7 @@ class DsnProgram:
     controls: list[DsnControl] = field(default_factory=list)
     shards: list[DsnShard] = field(default_factory=list)
     fuses: list[DsnFuse] = field(default_factory=list)
+    slos: list[DsnSlo] = field(default_factory=list)
 
     def service(self, name: str) -> DsnService:
         for service in self.services:
@@ -250,6 +282,16 @@ class DsnProgram:
                         "fuse hint"
                     )
                 fused.add(member)
+        for slo in self.slos:
+            if slo.op not in ("<", "<=", ">", ">="):
+                raise DsnError(
+                    f"slo for {slo.flow!r}: unknown comparator {slo.op!r}"
+                )
+            if slo.window < 0:
+                raise DsnError(
+                    f"slo for {slo.flow!r}: window must be >= 0, "
+                    f"got {slo.window}"
+                )
 
     def render(self) -> str:
         """The canonical textual form (stable: services/edges in order)."""
@@ -266,5 +308,7 @@ class DsnProgram:
             lines.append(shard.render())
         for fuse in self.fuses:
             lines.append(fuse.render())
+        for slo in self.slos:
+            lines.append(slo.render())
         lines.append("}")
         return "\n".join(lines) + "\n"

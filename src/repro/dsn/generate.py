@@ -18,6 +18,7 @@ from repro.dsn.ast import (
     DsnProgram,
     DsnService,
     DsnShard,
+    DsnSlo,
     ServiceRole,
 )
 from repro.errors import DataflowError
@@ -33,6 +34,7 @@ def dataflow_to_dsn(
     shards: "int | dict[str, int] | None" = None,
     elastic: bool = False,
     fuse: bool = False,
+    slos: "list[DsnSlo] | None" = None,
 ) -> DsnProgram:
     """Translate a (consistent) dataflow into its DSN program.
 
@@ -66,6 +68,10 @@ def dataflow_to_dsn(
             default) emits no hints, so existing programs render
             unchanged — the executor still fuses by default at deploy
             time; the escape hatch there is ``deploy(..., fuse=False)``.
+        slos: service-level objective clauses to attach verbatim.  The
+            executor turns each into an alert rule and installs the
+            latency plane at deploy time.  ``None`` (the default) emits no
+            clauses, so existing programs render unchanged.
     """
     if validate:
         validate_dataflow(flow, registry).raise_if_invalid()
@@ -164,6 +170,9 @@ def dataflow_to_dsn(
         program.fuses = [
             DsnFuse(members=chain) for chain in plan_fusion(program)
         ]
+
+    if slos:
+        program.slos = list(slos)
 
     program.check()
     return program

@@ -20,6 +20,7 @@ from repro.dsn.ast import (
     DsnProgram,
     DsnService,
     DsnShard,
+    DsnSlo,
     ServiceRole,
 )
 from repro.network.qos import QosPolicy
@@ -49,6 +50,10 @@ _SHARD_RE = re.compile(
 _SHARD_KEY_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 _FUSE_RE = re.compile(
     r'^fuse\s+("(?:[^"\\]|\\.)*"(?:\s*->\s*"(?:[^"\\]|\\.)*")+);$'
+)
+_SLO_RE = re.compile(
+    r'^slo\s+"((?:[^"\\]|\\.)*)"\s+([A-Za-z_][A-Za-z0-9_]*)'
+    r"\s+(<=|<|>=|>)\s+([0-9.eE+-]+)\s+over\s+([0-9.eE+-]+);$"
 )
 
 
@@ -175,6 +180,18 @@ def parse_dsn(text: str) -> DsnProgram:
                         _unescape(member)
                         for member in _SHARD_KEY_RE.findall(match.group(1))
                     )
+                )
+            )
+            continue
+        match = _SLO_RE.match(line)
+        if match:
+            program.slos.append(
+                DsnSlo(
+                    flow=_unescape(match.group(1)),
+                    metric=match.group(2),
+                    op=match.group(3),
+                    threshold=float(match.group(4)),
+                    window=float(match.group(5)),
                 )
             )
             continue

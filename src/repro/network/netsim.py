@@ -80,6 +80,12 @@ class NetworkSimulator:
         #: losses record ``drop`` spans.  ``None`` costs one attribute
         #: read per send.
         self.tracer = None
+        #: Latency plane (``repro.obs.latency.LatencyPlane``).  When set,
+        #: every non-local send increments the route's in-flight count and
+        #: every delivery (or in-flight loss) decrements it — the link
+        #: occupancy signal behind ``network_route_inflight``.  ``None``
+        #: costs one attribute read per send.
+        self.plane = None
 
     def send(
         self,
@@ -166,6 +172,8 @@ class NetworkSimulator:
             )
             payload = payload.with_trace(ctx.child_of(span))
         message = Message(source, target, payload, size_bytes, now)
+        if self.plane is not None:
+            self.plane.link_send(source, target)
         self.clock.schedule(
             delay, lambda: self._deliver(message, on_delivery, on_drop)
         )
@@ -240,6 +248,8 @@ class NetworkSimulator:
             hops=len(info.hops), size_bytes=size_bytes,
         )
         message = Message(source, target, batch, size_bytes, now, units)
+        if self.plane is not None:
+            self.plane.link_send(source, target)
         self.clock.schedule(
             delay, lambda: self._deliver(message, on_delivery, on_drop)
         )
@@ -286,6 +296,8 @@ class NetworkSimulator:
         on_delivery: Callable[[object], None],
         on_drop: "Callable[[Message, str], None] | None" = None,
     ) -> None:
+        if self.plane is not None and message.source != message.target:
+            self.plane.link_done(message.source, message.target)
         # A node that died while the message was in flight loses it.
         node = self.topology._nodes.get(message.target)
         if node is not None and not node.up:

@@ -11,6 +11,8 @@ flush-time bookkeeping, not per-hop allocations).
 
 from __future__ import annotations
 
+from repro.obs.alerts import AlertEngine, AlertRule, AlertTransition
+from repro.obs.latency import LATENCY_BUCKETS, LatencyPlane, ProcessProbe
 from repro.obs.lineage import LineageRecord, LineageStore, tuple_key
 from repro.obs.metrics import (
     Counter,
@@ -20,6 +22,7 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
 )
 from repro.obs.render import (
+    render_health,
     render_trace,
     render_trace_tree,
     sink_trace_ids,
@@ -41,14 +44,31 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(sampling=sampling, max_traces=max_traces)
         self.lineage = LineageStore(max_records=max_lineage)
+        #: The latency/watermark/SLO plane — None until installed.  The
+        #: executor installs it when SLO rules are declared; everything
+        #: on the hot path gates on the resulting ``is None`` checks, so
+        #: an absent plane costs nothing (the PR 3 zero-cost contract).
+        self.latency: "LatencyPlane | None" = None
 
     @property
     def sampling(self) -> float:
         return self.tracer.sampling
 
+    def ensure_latency(self) -> LatencyPlane:
+        """Install (or return) the latency plane."""
+        if self.latency is None:
+            self.latency = LatencyPlane(self.metrics)
+        return self.latency
+
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "AlertTransition",
     "CONTROL_TRACE_ID",
+    "LATENCY_BUCKETS",
+    "LatencyPlane",
+    "ProcessProbe",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -60,6 +80,7 @@ __all__ = [
     "Span",
     "TraceContext",
     "Tracer",
+    "render_health",
     "render_trace",
     "render_trace_tree",
     "sink_trace_ids",

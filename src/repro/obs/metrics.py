@@ -36,10 +36,21 @@ def _labelset(labels: dict[str, str]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics exposition format:
+    backslash, double quote, and line feed must be escaped inside the
+    quoted value or the exposition text is unparseable."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + inner + "}"
 
 
@@ -177,13 +188,27 @@ class MetricsRegistry:
             return None
         return family[2].get(_labelset(labels))
 
+    def values(self, name: str) -> "list[tuple[dict[str, str], float]]":
+        """Every (labels, value) pair of a counter/gauge family, sorted by
+        label set.  Read-only view for dashboards and alert rules; returns
+        an empty list for unknown or histogram families."""
+        family = self._families.get(name)
+        if family is None or family[0] == "histogram":
+            return []
+        return [
+            (dict(labels), instrument.value)  # type: ignore[attr-defined]
+            for labels, instrument in sorted(family[2].items())
+        ]
+
     # -- export ------------------------------------------------------------
 
     def expose(self) -> str:
         """Text exposition: ``# HELP`` / ``# TYPE`` headers + one line per
-        labeled instrument, in registration order."""
+        labeled instrument.  Families are sorted by name (and instruments
+        by label set) so two runs that registered the same metrics in a
+        different order still produce byte-identical dumps."""
         lines: list[str] = []
-        for name, (kind, help_, instruments) in self._families.items():
+        for name, (kind, help_, instruments) in sorted(self._families.items()):
             if help_:
                 lines.append(f"# HELP {name} {help_}")
             lines.append(f"# TYPE {name} {kind}")
@@ -206,9 +231,10 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> dict:
-        """JSON-able snapshot of every family and instrument."""
+        """JSON-able snapshot of every family and instrument, sorted by
+        family name for byte-comparable dumps."""
         out: dict[str, dict] = {}
-        for name, (kind, help_, instruments) in self._families.items():
+        for name, (kind, help_, instruments) in sorted(self._families.items()):
             series = []
             for labels, instrument in sorted(instruments.items()):
                 entry: dict[str, object] = {"labels": dict(labels)}

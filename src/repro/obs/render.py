@@ -126,3 +126,48 @@ def render_trace(tracer: Tracer, trace_id: int,
             "lineage: " + (", ".join(sources) if sources else "(unknown)")
         )
     return "\n".join(lines)
+
+
+def _health_number(value: "float | None", suffix: str = "s") -> str:
+    return "cold" if value is None else f"{value:.1f}{suffix}"
+
+
+def render_health(engine) -> str:
+    """The ``repro health`` screen: one AlertEngine's last tick snapshot.
+
+    Shows the logical (shard-invariant) per-service watermark view, the
+    backpressure columns, the rules with their latest readings, and the
+    recent fire/resolve history.  Renders a placeholder until the first
+    tick has run.
+    """
+    snapshot = engine.snapshot
+    if snapshot is None:
+        return "(no health snapshot yet: the alert engine has not ticked)"
+    lines = [
+        f"== health @ t={snapshot['time']:.0f}s ==",
+        f"source high-water: {_health_number(snapshot['source_high'])}",
+        "-- services (watermark / lag / queue / saturation) --",
+    ]
+    for name, info in snapshot["services"].items():
+        lines.append(
+            f"  {name:36s} {_health_number(info['watermark']):>12s} "
+            f"{_health_number(info['lag']):>10s} "
+            f"{info['queue_depth']:6d} {info['saturation']:6.2f}"
+        )
+    lines.append("-- objectives --")
+    for name, rule in sorted(engine.rules.items()):
+        value = snapshot["values"].get(name)
+        state = "FIRING" if name in snapshot["firing"] else "ok"
+        lines.append(
+            f"  {name:36s} {rule.describe():32s} "
+            f"now={_health_number(value, '')} [{state}]"
+        )
+    if engine.history:
+        lines.append("-- transitions --")
+        for transition in engine.history[-8:]:
+            lines.append(
+                f"  t={transition.time:.0f}: {transition.event:7s} "
+                f"{transition.rule} "
+                f"(value={_health_number(transition.value, '')})"
+            )
+    return "\n".join(lines)

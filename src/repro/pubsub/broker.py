@@ -193,6 +193,12 @@ class BrokerNetwork:
     def brokers(self) -> list[Broker]:
         return list(self._brokers.values())
 
+    def iter_subscriptions(self):
+        """Every subscription across all brokers, in broker/insertion
+        order (the latency plane's backlog sweep)."""
+        for broker in self._brokers.values():
+            yield from broker.subscriptions
+
     # -- publish / unpublish (sensors joining and leaving, P3) -----------------
 
     def publish(self, metadata: SensorMetadata) -> None:
@@ -471,6 +477,10 @@ class BrokerNetwork:
                 )
             )
         counter.inc()
+        plane = obs.latency
+        if plane is not None:
+            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            plane.note_publish(metadata.sensor_id, now, tuple_.stamp.time)
         tracer = obs.tracer
         if tuple_.trace is None and tracer.enabled:
             now = self.netsim.clock.now if self.netsim is not None else 0.0
@@ -506,6 +516,10 @@ class BrokerNetwork:
         count = len(batch)
         counter.inc(count)
         self._batch_size_histogram.observe(count)
+        plane = obs.latency
+        if plane is not None:
+            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            plane.note_publish_batch(metadata.sensor_id, now, batch)
         tracer = obs.tracer
         if not tracer.enabled:
             return batch
@@ -535,12 +549,26 @@ class BrokerNetwork:
         attempt: int,
     ) -> None:
         """One transmission attempt; losses re-enter via ``_on_loss``."""
+        plane = self._obs.latency if self._obs is not None else None
+        if plane is None:
+            on_delivery = subscription.deliver
+        else:
+            subscription.inflight += 1
+
+            def on_delivery(payload, s=subscription, p=plane):
+                s.inflight -= 1
+                p.note_deliver(
+                    str(s.subscription_id),
+                    self.netsim.clock.now, payload.stamp.time,
+                )
+                s.deliver(payload)
+
         self.netsim.send(
             source=metadata.node_id,
             target=subscription.node_id,
             payload=tuple_,
             size_bytes=estimate_size_bytes(tuple_),
-            on_delivery=subscription.deliver,
+            on_delivery=on_delivery,
             on_drop=lambda _message, reason: self._on_loss(
                 metadata, subscription, tuple_, attempt, reason
             ),
@@ -556,6 +584,8 @@ class BrokerNetwork:
     ) -> None:
         """A data message was lost: back off and retry, or dead-letter."""
         obs = self.obs
+        if obs is not None and obs.latency is not None and subscription.inflight > 0:
+            subscription.inflight -= 1  # the retry re-increments on transmit
         if attempt < self.retry_policy.max_attempts:
             next_attempt = attempt + 1
             subscription.retries += 1
@@ -599,12 +629,25 @@ class BrokerNetwork:
         attempt: int,
     ) -> None:
         """One batch transmission attempt; losses re-enter via ``_on_batch_loss``."""
+        plane = self._obs.latency if self._obs is not None else None
+        if plane is None:
+            on_delivery = subscription.deliver_batch
+        else:
+            subscription.inflight += 1
+
+            def on_delivery(payload, s=subscription, p=plane):
+                s.inflight -= 1
+                p.note_deliver_batch(
+                    str(s.subscription_id), self.netsim.clock.now, payload,
+                )
+                s.deliver_batch(payload)
+
         self.netsim.send_batch(
             source=metadata.node_id,
             target=subscription.node_id,
             batch=batch,
             size_bytes=estimate_batch_size_bytes(batch),
-            on_delivery=subscription.deliver_batch,
+            on_delivery=on_delivery,
             on_drop=lambda _message, reason: self._on_batch_loss(
                 metadata, subscription, batch, attempt, reason
             ),
@@ -627,6 +670,8 @@ class BrokerNetwork:
         quorum logic and the PR 1 audit format are unchanged by batching.
         """
         obs = self.obs
+        if obs is not None and obs.latency is not None and subscription.inflight > 0:
+            subscription.inflight -= 1  # the retry re-increments on transmit
         if attempt < self.retry_policy.max_attempts:
             next_attempt = attempt + 1
             subscription.retries += 1

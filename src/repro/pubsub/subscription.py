@@ -119,6 +119,11 @@ class Subscription:
     suppressed: int = 0
     retries: int = 0
     dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: Messages transmitted to this subscription and not yet delivered or
+    #: abandoned — the broker's backlog signal.  Maintained only while the
+    #: latency plane is installed (``broker_subscription_backlog`` gauge);
+    #: stays 0 otherwise.
+    inflight: int = 0
 
     def pause(self) -> None:
         self.active = False

@@ -252,6 +252,7 @@ class Executor:
         source_quorum: float = 0.5,
         obs: "object | None" = None,
         rebalance_config: "object | None" = None,
+        alert_cadence: float = 60.0,
     ) -> None:
         if not (0.0 < source_quorum <= 1.0):
             raise DeploymentError(
@@ -286,6 +287,11 @@ class Executor:
         self.checkpoint_interval = checkpoint_interval
         #: Fraction of deploy-time sensors a source must keep to stay healthy.
         self.source_quorum = source_quorum
+        #: Virtual-time cadence of the alert engine's evaluation ticks.
+        self.alert_cadence = alert_cadence
+        #: The deterministic alerting engine, created lazily by the first
+        #: deployment that declares SLO clauses (``slo "..." ...;``).
+        self.alerts = None
         self.deployments: dict[str, Deployment] = {}
         self.monitor.on_node_dead.append(self._handle_node_death)
         self._chain_broker_hooks()
@@ -532,6 +538,9 @@ class Executor:
                     target, port=channel.port, qos=qos
                 )
 
+        if program.slos:
+            self._install_slo_plane(deployment)
+
         # Start processes and monitoring.
         for process in deployment.processes.values():
             process.start()
@@ -545,6 +554,112 @@ class Executor:
             rebalancer.start()
         self.deployments[program.name] = deployment
         return deployment
+
+    def _install_slo_plane(self, deployment: Deployment) -> None:
+        """Install the latency plane for a deployment with SLO clauses.
+
+        Creates the plane (idempotent per observability bundle), hooks the
+        broker and network simulator, attaches a probe to every spawned
+        process, lowers the dataflow's channel graph into per-process
+        watermark upstream sets, and registers one alert rule per ``slo``
+        clause with the executor-wide engine.
+        """
+        program = deployment.program
+        if self.obs is None:
+            raise DeploymentError(
+                f"deployment {program.name!r} declares SLO clauses but the "
+                "executor was built without observability"
+            )
+        from repro.obs.alerts import AlertEngine, AlertRule
+
+        plane = self.obs.ensure_latency()
+        self.netsim.plane = plane
+        plane.attach_broker(self.broker_network)
+        for process in deployment.processes.values():
+            operator = process.operator
+            process._probe = plane.register_process(
+                process.process_id,
+                blocking=operator.is_blocking,
+                sink=operator.span_name == "sink",
+            )
+
+        # Watermark graph: each channel between *deployed* services adds
+        # the emitting process to the consuming process's upstream set.
+        # Sources feed through the broker and have no probe (source_high
+        # covers them); shard groups fan a channel in across the members
+        # and out through the merge; fused members collapse to the chain.
+        upstreams: dict[str, set[str]] = {
+            key: set() for key in deployment.processes
+        }
+
+        def out_key(service_name: str) -> "str | None":
+            if service_name in deployment.bindings:
+                return None
+            if service_name in deployment.shard_groups:
+                return f"{service_name}#merge"
+            return deployment.fused.get(service_name, service_name)
+
+        def in_keys(service_name: str) -> list[str]:
+            group = deployment.shard_groups.get(service_name)
+            if group is not None:
+                return [
+                    f"{service_name}#{index}"
+                    for index in range(len(group.members))
+                ]
+            return [deployment.fused.get(service_name, service_name)]
+
+        for channel in program.channels:
+            up = out_key(channel.source)
+            if up is None:
+                continue
+            for down in in_keys(channel.target):
+                if down != up:
+                    upstreams[down].add(up)
+        for service_name, group in deployment.shard_groups.items():
+            merge_key = f"{service_name}#merge"
+            for index in range(len(group.members)):
+                upstreams[merge_key].add(f"{service_name}#{index}")
+        for key in deployment.processes:
+            plane.set_upstreams(
+                deployment.processes[key].process_id,
+                sorted(
+                    deployment.processes[up].process_id
+                    for up in upstreams[key]
+                ),
+            )
+
+        # The elastic control loops (PR 6) can read per-shard watermark
+        # lag as a tie-breaking rebalance input.
+        for service_name, rebalancer in deployment.rebalancers.items():
+            group = deployment.shard_groups[service_name]
+            rebalancer.load_monitor.lag_provider = (
+                lambda members=tuple(group.members), plane=plane: [
+                    plane.watermark_lag(member.process_id) or 0.0
+                    for member in members
+                ]
+            )
+
+        engine = self.alerts
+        if engine is None:
+            engine = self.alerts = AlertEngine(
+                self.obs.metrics,
+                plane=plane,
+                tracer=self.obs.tracer,
+                cadence=self.alert_cadence,
+            )
+            engine.start(self.netsim.clock)
+            self.monitor.alerts = engine
+        for slo in program.slos:
+            engine.add_rule(
+                AlertRule(
+                    name=f"slo:{slo.flow}:{slo.metric}",
+                    metric=slo.metric,
+                    op=slo.op,
+                    threshold=slo.threshold,
+                    window=slo.window,
+                    scope=slo.flow,
+                )
+            )
 
     def _build_runtime(self, service, deployment: Deployment):
         """Instantiate the runtime operator (or sink) for a service."""

@@ -118,6 +118,9 @@ class Monitor:
         self.obs = obs
         #: Retention cap applied to every TimeSeries this monitor creates.
         self.max_series_points = max_series_points
+        #: The executor's alert engine, when SLO clauses are deployed;
+        #: surfaces firing rules on the dashboard.
+        self.alerts = None
         self._heartbeat_counters: dict[str, object] = {}
         self._rate_gauges: dict[str, object] = {}
         self._util_gauges: dict[str, object] = {}
@@ -308,6 +311,10 @@ class Monitor:
         """Take one sample of every watched process and every node."""
         now = self.netsim.clock.now
         obs = self.obs
+        if obs is not None and obs.latency is not None:
+            # Re-derive the watermark/backpressure gauges on the sample
+            # cadence (the latency plane never publishes per tuple).
+            obs.latency.refresh()
         for deployment, processes in self._watched.items():
             for process in processes:
                 process.sample_load(now)
@@ -430,7 +437,7 @@ class Monitor:
 
     def report(self) -> dict:
         """The statistics panel: everything Figure 3 displays, as data."""
-        return {
+        report = {
             "time": self.netsim.clock.now,
             "operation_rates": {
                 key: series.last for key, series in self.operation_rates.items()
@@ -458,6 +465,22 @@ class Monitor:
                 "link_bytes": self.netsim.total_link_bytes(),
             },
         }
+        plane = self.obs.latency if self.obs is not None else None
+        if plane is not None:
+            memo: dict = {}
+            report["watermarks"] = {
+                key: {
+                    "watermark": plane.watermark(key, memo),
+                    "lag": plane.watermark_lag(key, memo),
+                }
+                for key in sorted(plane.probes)
+            }
+        if self.alerts is not None:
+            report["alerts"] = {
+                "firing": self.alerts.firing(),
+                "transitions": len(self.alerts.history),
+            }
+        return report
 
     def render_dashboard(self) -> str:
         """ASCII rendering of the monitoring screen (Figure 3 stand-in)."""
@@ -503,4 +526,29 @@ class Monitor:
                     f"  t={change.time:.0f}: {change.process_id} "
                     f"{change.from_node} -> {change.to_node}"
                 )
+        if self.migration_log:
+            lines.append("-- key migrations --")
+            for event in self.migration_log[-5:]:
+                targets = ",".join(str(shard) for shard in event.to_shards)
+                lines.append(
+                    f"  t={event.time:.0f}: {event.service} {event.key} "
+                    f"shard {event.from_shard} -> [{targets}] ({event.kind})"
+                )
+        watermarks = report.get("watermarks")
+        if watermarks:
+            lines.append("-- watermarks (lag behind sources) --")
+            for key in sorted(watermarks):
+                lag = watermarks[key]["lag"]
+                lag_text = f"{lag:10.1f}s" if lag is not None else "      cold"
+                bar = "#" * min(40, int(lag)) if lag is not None else ""
+                lines.append(f"  {key:40s} {lag_text} {bar}")
+        alerts = report.get("alerts")
+        if alerts is not None:
+            lines.append(
+                f"-- alerts ({alerts['transitions']} transitions) --"
+            )
+            for name in alerts["firing"]:
+                lines.append(f"  {name:40s} FIRING")
+            if not alerts["firing"]:
+                lines.append("  none firing")
         return "\n".join(lines)

@@ -81,6 +81,11 @@ class OperatorProcess:
         #: recorded only for tuples already carrying a trace context.
         self.obs = obs
         self._tuples_counter = None
+        #: Latency-plane probe (``repro.obs.latency.ProcessProbe``);
+        #: installed by the executor only when the plane exists, so the
+        #: per-tuple cost of an absent SLO plane is one ``is None`` check
+        #: inside the existing ``obs is not None`` branch.
+        self._probe = None
         if obs is not None and not getattr(operator, "owns_tuple_metrics", False):
             # A fused chain reports ``process_tuples_total`` under its
             # *member* process labels (``FusedOperator.bind_obs``), not a
@@ -258,6 +263,9 @@ class OperatorProcess:
         if obs is not None:
             if self._tuples_counter is not None:
                 self._tuples_counter.inc()
+            probe = self._probe
+            if probe is not None:
+                probe.note(self.netsim.clock.now, tuple_.stamp.time)
             ctx = tuple_.trace
             if ctx is not None:
                 span = obs.tracer.span(
@@ -296,6 +304,9 @@ class OperatorProcess:
         if obs is not None:
             if self._tuples_counter is not None:
                 self._tuples_counter.inc(count)
+            probe = self._probe
+            if probe is not None:
+                probe.note_batch(self.netsim.clock.now, batch)
             if any(t.trace is not None for t in batch):
                 now = self.netsim.clock.now
                 span_name = self.operator.span_name
@@ -321,6 +332,11 @@ class OperatorProcess:
             return
         now = self.netsim.clock.now
         emitted = self.operator.on_timer(now)
+        probe = self._probe
+        if probe is not None:
+            # Empty flushes commit too: an idle window still advances the
+            # operator's watermark through the flush instant.
+            probe.commit_flush(now, emitted)
         if emitted:
             node.account_work(self.operator.cost_per_tuple * len(emitted))
             obs = self.obs

@@ -93,7 +93,8 @@ class ShardLoadMonitor:
     signal and entry totals the corroborating one.
     """
 
-    def __init__(self, group, window_epochs: int = 4) -> None:
+    def __init__(self, group, window_epochs: int = 4,
+                 lag_provider=None) -> None:
         if window_epochs < 1:
             raise StreamLoaderError(
                 f"load window must cover at least one epoch: {window_epochs}"
@@ -102,6 +103,11 @@ class ShardLoadMonitor:
         self.window: "deque[list[int]]" = deque(maxlen=window_epochs)
         self._last_tuples = [0] * len(group.members)
         self._last_entries = [0] * len(group.members)
+        #: Optional callable returning per-member watermark lag (seconds),
+        #: wired by the executor when the latency plane is installed.  A
+        #: lagging shard is preferred as donor on load ties — it is the
+        #: one actually holding the flow's watermark back.
+        self.lag_provider = lag_provider
 
     def sample(self) -> list[int]:
         """Record one epoch of per-shard input-tuple deltas."""
@@ -133,6 +139,19 @@ class ShardLoadMonitor:
         ]
         self._last_entries = list(totals)
         return deltas
+
+    def shard_lags(self) -> list[float]:
+        """Per-shard watermark lag (all zeros without a provider)."""
+        count = len(self.group.members)
+        if self.lag_provider is None:
+            return [0.0] * count
+        lags = list(self.lag_provider())
+        if len(lags) != count:
+            raise StreamLoaderError(
+                f"lag provider returned {len(lags)} values for "
+                f"{count} shards"
+            )
+        return [float(lag) for lag in lags]
 
     def imbalance(self) -> float:
         """Max/mean windowed load (1.0 = balanced, 0 traffic = 1.0)."""
@@ -452,7 +471,11 @@ class ShardRebalancer:
         loads = self.load_monitor.epoch_loads()
         if not loads:
             return
-        donor = max(range(len(loads)), key=lambda i: (loads[i], -i))
+        # Watermark lag breaks load ties: with the latency plane
+        # installed, the shard holding the flow's watermark back donates
+        # first.  Without it every lag is 0.0 and the choice is unchanged.
+        lags = self.load_monitor.shard_lags()
+        donor = max(range(len(loads)), key=lambda i: (loads[i], lags[i], -i))
         decision = self.policy.observe(
             loads,
             self.load_monitor.hot_keys(donor),

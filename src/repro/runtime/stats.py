@@ -71,6 +71,18 @@ class TimeSeries:
         index = bisect.bisect_left(self.points, time, key=lambda p: p[0])
         return self.points[index:]
 
+    def window(self, duration: float) -> list[tuple[float, float]]:
+        """The trailing ``duration`` seconds of points (anchored at the
+        newest point's timestamp; empty series yields an empty window)."""
+        if duration < 0:
+            raise ValueError(
+                f"series {self.name!r}: window duration must be >= 0, "
+                f"got {duration}"
+            )
+        if not self.points:
+            return []
+        return self.since(self.points[-1][0] - duration)
+
     def __len__(self) -> int:
         return len(self.points)
 

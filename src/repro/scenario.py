@@ -63,6 +63,8 @@ def build_stack(
     replicas: int = 1,
     observability: "Observability | bool | float | None" = None,
     batching: "BatchingPolicy | int | None" = None,
+    latency: bool = False,
+    alert_cadence: float = 60.0,
 ) -> Stack:
     """Assemble a full StreamLoader stack with the Osaka fleet.
 
@@ -82,6 +84,11 @@ def build_stack(
             :class:`~repro.sensors.base.BatchingPolicy`, an int ``n`` as
             shorthand for ``BatchingPolicy(max_batch=n, max_delay=1.0)``,
             or None for tuple-at-a-time emission (today's behaviour).
+        latency: install the latency/watermark plane up front (``repro
+            health`` uses this); implies a default observability bundle
+            (sampling 0.0 — no tracing) when none was requested.
+        alert_cadence: virtual-time cadence of the executor's alert
+            engine ticks (only relevant once SLO rules are deployed).
     """
     if observability is True:
         obs: "Observability | None" = Observability()
@@ -89,6 +96,10 @@ def build_stack(
         obs = Observability(sampling=float(observability))
     else:
         obs = observability or None
+    if latency:
+        if obs is None:
+            obs = Observability(sampling=0.0)
+        obs.ensure_latency()
     topology = topology if topology is not None else Topology.star(leaf_count=4)
     netsim = NetworkSimulator(topology=topology)
     broker_network = BrokerNetwork(netsim=netsim)
@@ -102,6 +113,7 @@ def build_stack(
         sticker=sticker,
         rebalance_interval=rebalance_interval,
         obs=obs,
+        alert_cadence=alert_cadence,
     )
     fleet = osaka_fleet(topology, hot=hot, extended=extended, seed=seed,
                         replicas=replicas)

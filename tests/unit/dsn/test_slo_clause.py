@@ -1,0 +1,118 @@
+"""Unit tests for the ``slo`` clause (render, parse, check, CLI syntax)."""
+
+import pytest
+
+from repro.cli import DEFAULT_SLO_EXPRS, parse_slo_expr
+from repro.dsn.ast import (
+    DsnChannel,
+    DsnProgram,
+    DsnService,
+    DsnSlo,
+    ServiceRole,
+)
+from repro.dsn.parse import parse_dsn
+from repro.errors import DsnError, DsnParseError, StreamLoaderError
+from repro.network.qos import QosPolicy
+
+
+def slo_program() -> DsnProgram:
+    program = DsnProgram(name="p")
+    program.services.append(
+        DsnService(role=ServiceRole.SOURCE, name="src", kind="sensor-stream",
+                   params={"filter": {"sensor_type": "rain"}, "active": True})
+    )
+    program.services.append(
+        DsnService(role=ServiceRole.SINK, name="k", kind="collector",
+                   params={"config": {}}, qos=QosPolicy())
+    )
+    program.channels.append(DsnChannel("src", "k", 0))
+    return program
+
+
+class TestRender:
+    def test_slo_free_program_renders_historical_form(self):
+        # Golden stability: without rules, no slo line appears at all.
+        assert "slo" not in slo_program().render()
+
+    def test_slo_clause_renders(self):
+        program = slo_program()
+        program.slos.append(
+            DsnSlo(flow="p", metric="p99_latency", op="<", threshold=5.0,
+                   window=60.0)
+        )
+        assert '  slo "p" p99_latency < 5 over 60;\n' in program.render()
+
+    def test_slo_renders_after_channels(self):
+        program = slo_program()
+        program.slos.append(
+            DsnSlo(flow="p", metric="watermark_lag", op="<", threshold=900.0)
+        )
+        text = program.render()
+        assert text.index("slo ") > text.index('channel "src" -> "k"')
+
+
+class TestParse:
+    def test_round_trip(self):
+        program = slo_program()
+        program.slos.append(
+            DsnSlo(flow="p", metric="p99_latency", op="<=", threshold=5.0,
+                   window=60.0)
+        )
+        program.slos.append(
+            DsnSlo(flow="p", metric="watermark_lag", op="<", threshold=900.0)
+        )
+        assert parse_dsn(program.render()) == program
+
+    def test_parse_extracts_fields(self):
+        lines = slo_program().render().splitlines()
+        lines.insert(-1, '  slo "p" saturation >= 0.5 over 0;')
+        parsed = parse_dsn("\n".join(lines) + "\n")
+        assert parsed.slos == [
+            DsnSlo(flow="p", metric="saturation", op=">=", threshold=0.5,
+                   window=0.0)
+        ]
+
+    def test_malformed_slo_line_rejected(self):
+        lines = slo_program().render().splitlines()
+        lines.insert(-1, '  slo "p" p99_latency ~ 5 over 60;')
+        with pytest.raises(DsnParseError):
+            parse_dsn("\n".join(lines) + "\n")
+
+
+class TestCheck:
+    def test_bad_comparator_rejected(self):
+        program = slo_program()
+        program.slos.append(
+            DsnSlo(flow="p", metric="p99_latency", op="!=", threshold=5.0)
+        )
+        with pytest.raises(DsnError):
+            program.check()
+
+    def test_negative_window_rejected(self):
+        program = slo_program()
+        program.slos.append(
+            DsnSlo(flow="p", metric="p99_latency", op="<", threshold=5.0,
+                   window=-60.0)
+        )
+        with pytest.raises(DsnError):
+            program.check()
+
+
+class TestCliExpressions:
+    def test_parse_simple_expression(self):
+        slo = parse_slo_expr("watermark_lag < 900", flow="f")
+        assert slo == DsnSlo(flow="f", metric="watermark_lag", op="<",
+                             threshold=900.0)
+
+    def test_parse_windowed_expression(self):
+        slo = parse_slo_expr("p99_latency <= 5.0 over 60", flow="f")
+        assert slo.window == 60.0
+        assert slo.op == "<="
+
+    def test_garbage_rejected(self):
+        with pytest.raises(StreamLoaderError):
+            parse_slo_expr("p99_latency is fine", flow="f")
+
+    def test_defaults_parse(self):
+        for expr in DEFAULT_SLO_EXPRS:
+            assert parse_slo_expr(expr, flow="f").flow == "f"

@@ -68,6 +68,34 @@ class TestHistogram:
         with pytest.raises(StreamLoaderError):
             Histogram(boundaries=(1.0, 1.0))
 
+    def test_quantile_of_empty_histogram_is_zero(self):
+        h = Histogram(boundaries=(1.0, 5.0))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_quantile_extremes(self):
+        h = Histogram(boundaries=(1.0, 5.0, 10.0))
+        for v in (0.5, 3.0, 7.0):
+            h.observe(v)
+        # q=0 has rank 0: every cumulative count satisfies >= 0.
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_quantile_all_observations_overflow(self):
+        h = Histogram(boundaries=(1.0, 5.0))
+        for _ in range(3):
+            h.observe(100.0)
+        assert h.quantile(0.5) == float("inf")
+        assert h.quantile(1.0) == float("inf")
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram(boundaries=(1.0,))
+        with pytest.raises(StreamLoaderError):
+            h.quantile(-0.1)
+        with pytest.raises(StreamLoaderError):
+            h.quantile(1.1)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -111,6 +139,39 @@ class TestRegistry:
         assert 'lat_bucket{le="+Inf",node="n0"} 2' in text
         assert 'lat_sum{node="n0"} 90.5' in text
         assert 'lat_count{node="n0"} 2' in text
+
+    def test_label_values_escaped_in_exposition(self):
+        """Regression: backslashes, quotes, and newlines inside label
+        values must be escaped or the exposition text is unparseable."""
+        reg = MetricsRegistry()
+        reg.counter("routes_total", route='a"b\\c\nd').inc()
+        text = reg.expose()
+        assert 'routes_total{route="a\\"b\\\\c\\nd"} 1' in text
+        assert "\nd" not in text.replace("\\nd", "")  # no raw newline leaks
+
+    def test_expose_sorted_regardless_of_registration_order(self):
+        first = MetricsRegistry()
+        first.counter("zz_total", node="n1").inc()
+        first.counter("zz_total", node="n0").inc()
+        first.gauge("aa_util").set(1.0)
+        second = MetricsRegistry()
+        second.gauge("aa_util").set(1.0)
+        second.counter("zz_total", node="n0").inc()
+        second.counter("zz_total", node="n1").inc()
+        assert first.expose() == second.expose()
+        assert first.to_json() == second.to_json()
+        assert list(first.snapshot()) == sorted(first.snapshot())
+
+    def test_values_view(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", process="b").set(2.0)
+        reg.gauge("depth", process="a").set(1.0)
+        reg.histogram("h").observe(0.5)
+        assert reg.values("depth") == [
+            ({"process": "a"}, 1.0), ({"process": "b"}, 2.0),
+        ]
+        assert reg.values("h") == []  # histograms have no scalar view
+        assert reg.values("missing") == []
 
     def test_snapshot_roundtrips_through_json(self):
         reg = MetricsRegistry()

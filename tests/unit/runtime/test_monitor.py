@@ -1,13 +1,18 @@
 """Unit tests for the monitor."""
 
+import pathlib
+
 import pytest
 
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
+from repro.obs import AlertEngine, AlertRule, Observability
 from repro.runtime.monitor import Monitor, NodeHealth
 from repro.runtime.process import OperatorProcess
 from repro.streams.base import ControlCommand
 from repro.streams.filter import FilterOperator
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 
 
 @pytest.fixture
@@ -205,6 +210,100 @@ class TestFailureDetection:
         report = detector.report()
         assert report["node_health"]["node-0"] == "dead"
         assert "DEAD" in detector.render_dashboard()
+
+
+class TestDashboardGolden:
+    """Byte-for-byte snapshot of the full monitoring screen.
+
+    The rendered state exercises every section at once: operation and
+    utilization rows, one SUSPECT node, one key-migration event, the
+    watermark table, and one firing alert.  Everything runs on the
+    virtual clock, so the text is deterministic.  Accept an intentional
+    change with ``pytest ... --update-goldens``.
+    """
+
+    def build_dashboard_text(self, sim) -> str:
+        obs = Observability(sampling=0.0)
+        plane = obs.ensure_latency()
+        monitor = Monitor(sim, sample_interval=60.0, heartbeat_interval=10.0,
+                          suspect_after=2.0, dead_after=20.0, obs=obs)
+        process = make_process(sim)
+        process.start()
+        monitor.watch("flow", [process])
+        monitor.start()
+
+        engine = AlertEngine(obs.metrics, plane=plane, tracer=obs.tracer)
+        engine.start(sim.clock)
+        monitor.alerts = engine
+        engine.add_rule(AlertRule(name="slo:flow:watermark_lag",
+                                  metric="watermark_lag", op="<",
+                                  threshold=10.0, scope="flow"))
+
+        probe = plane.register_process("flow:f", blocking=True, sink=False)
+        plane.note_publish("sensor-1", 5.0, 5.0)
+        probe.note(5.0, 5.0)  # buffered, never flushed: renders "cold"
+        sink = plane.register_process("flow:out", blocking=False, sink=True)
+        sink.note(6.0, 5.5)
+
+        sim.clock.schedule_at(15.0, lambda: sim.kill_node("node-0"))
+        # The sources advance while the sink's watermark stays at 5.5, so
+        # the lag rule breaches before the t=90 tick.
+        sim.clock.schedule_at(
+            50.0, lambda: plane.note_publish("sensor-1", 50.0, 50.0)
+        )
+        sim.clock.run_until(95.0)  # SUSPECT at 40, alert fires at 90
+        monitor.record_migration("flow:f", "station-1", "migrate", 0, (1,),
+                                 "hot key")
+        return monitor.render_dashboard()
+
+    def test_dashboard_matches_golden(self, sim, update_goldens):
+        text = self.build_dashboard_text(sim) + "\n"
+        path = GOLDEN_DIR / "dashboard.txt"
+        if update_goldens:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(text)
+        assert text == path.read_text()
+
+    def test_dashboard_has_every_section(self, sim):
+        text = self.build_dashboard_text(sim)
+        assert "SUSPECT" in text
+        assert "-- key migrations --" in text
+        assert "station-1 shard 0 -> [1] (migrate)" in text
+        assert "-- watermarks (lag behind sources) --" in text
+        assert "cold" in text  # the buffered blocking probe never committed
+        assert "slo:flow:watermark_lag" in text and "FIRING" in text
+
+class TestReportPlaneSections:
+    def test_report_watermarks_and_alerts_keys(self, sim):
+        obs = Observability(sampling=0.0)
+        plane = obs.ensure_latency()
+        monitor = Monitor(sim, obs=obs)
+        probe = plane.register_process("flow:f", blocking=False, sink=False)
+        plane.note_publish("s", 10.0, 9.0)
+        probe.note(10.0, 8.0)
+        engine = AlertEngine(obs.metrics, plane=plane)
+        engine.start(sim.clock)
+        monitor.alerts = engine
+        report = monitor.report()
+        assert report["watermarks"]["flow:f"] == {
+            "watermark": 8.0, "lag": 1.0,
+        }
+        assert report["alerts"] == {"firing": [], "transitions": 0}
+
+    def test_report_omits_sections_without_plane(self, sim, monitor):
+        report = monitor.report()
+        assert "watermarks" not in report
+        assert "alerts" not in report
+
+    def test_sample_refreshes_plane_gauges(self, sim):
+        obs = Observability(sampling=0.0)
+        plane = obs.ensure_latency()
+        monitor = Monitor(sim, sample_interval=60.0, obs=obs)
+        probe = plane.register_process("flow:agg", blocking=True, sink=False)
+        probe.note(5.0, 4.0)
+        monitor.start()
+        sim.clock.run_until(60.0)
+        assert obs.metrics.get("queue_depth", process="flow:agg").value == 1
 
 
 class TestDeadLetterIntake:

@@ -225,6 +225,36 @@ class TestLoadMonitor:
             ShardLoadMonitor(_Group(1), window_epochs=0)
 
 
+class TestLagProvider:
+    def test_zeros_without_provider(self):
+        monitor = ShardLoadMonitor(_Group(3), window_epochs=2)
+        assert monitor.shard_lags() == [0.0, 0.0, 0.0]
+
+    def test_provider_values_passed_through(self):
+        monitor = ShardLoadMonitor(_Group(2), window_epochs=2,
+                                   lag_provider=lambda: [3, 7.5])
+        assert monitor.shard_lags() == [3.0, 7.5]
+
+    def test_length_mismatch_is_an_error(self):
+        monitor = ShardLoadMonitor(_Group(2), window_epochs=2,
+                                   lag_provider=lambda: [1.0])
+        with pytest.raises(StreamLoaderError):
+            monitor.shard_lags()
+
+    def test_lag_breaks_donor_load_ties(self):
+        # The rebalancer's donor pick: max by (load, lag, -index).  With
+        # equal loads, the lagging shard must donate; without a provider
+        # the lowest index wins (the pre-plane behaviour).
+        loads = [50, 50, 10]
+        lags = [0.0, 120.0, 0.0]
+        donor = max(range(len(loads)), key=lambda i: (loads[i], lags[i], -i))
+        assert donor == 1
+        no_lags = [0.0, 0.0, 0.0]
+        donor = max(range(len(loads)),
+                    key=lambda i: (loads[i], no_lags[i], -i))
+        assert donor == 0
+
+
 class TestBoundaryMath:
     """next_boundary() picks the flush instant strictly after now."""
 

@@ -102,6 +102,34 @@ class TestTimeSeries:
             TimeSeries("x", max_points=-5)
 
 
+class TestWindow:
+    def test_trailing_window_anchored_at_newest_point(self):
+        series = TimeSeries("x")
+        for t in (0.0, 10.0, 20.0, 30.0):
+            series.record(t, t)
+        assert series.window(15.0) == [(20.0, 20.0), (30.0, 30.0)]
+
+    def test_window_covering_everything(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.window(100.0) == [(0.0, 1.0), (10.0, 2.0)]
+
+    def test_zero_window_keeps_the_newest_instant(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        series.record(10.0, 3.0)  # same-instant samples both retained
+        assert series.window(0.0) == [(10.0, 2.0), (10.0, 3.0)]
+
+    def test_empty_series_yields_empty_window(self):
+        assert TimeSeries("x").window(60.0) == []
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").window(-1.0)
+
+
 class TestRateEstimator:
     def test_first_observation_is_zero(self):
         rate = RateEstimator()

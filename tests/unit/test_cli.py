@@ -92,3 +92,37 @@ class TestScenario:
         assert main(["scenario", "--hours", "6", "--cool"]) == 0
         out = capsys.readouterr().out
         assert "trigger never fired" in out
+
+
+class TestHealth:
+    def test_health_screen(self, capsys):
+        assert main(["health", "stations", "--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== health @ t=" in out
+        assert "-- objectives --" in out
+        assert "station-averages:station-avg" in out
+
+    def test_health_json_fires_and_resolves(self, capsys):
+        assert main([
+            "health", "stations", "--hours", "2",
+            "--slo", "watermark_lag < 200", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        events = {entry[1] for entry in payload["history"]}
+        assert events == {"fire", "resolve"}
+        rule = payload["rules"]["slo:station-averages:watermark_lag"]
+        assert rule["threshold"] == 200.0
+
+    def test_health_json_shard_invariant(self, capsys):
+        texts = []
+        for shards in ("1", "4"):
+            assert main([
+                "health", "stations", "--hours", "1", "--shards", shards,
+                "--slo", "watermark_lag < 450", "--json",
+            ]) == 0
+            texts.append(capsys.readouterr().out)
+        assert texts[0] == texts[1]
+
+    def test_bad_slo_expression_is_an_error(self, capsys):
+        assert main(["health", "stations", "--slo", "p99 latency bad"]) == 1
+        assert "error" in capsys.readouterr().err
