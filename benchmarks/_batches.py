@@ -1,0 +1,48 @@
+"""Shared tuple/topology factories for the ``run_*`` benchmark runners.
+
+Mirrors ``_timing.py``: the runners (``run_batch``, ``run_fusion``,
+``run_latency``, ``run_columnar``) all feed synthetic weather readings
+through a line of simulated nodes, and each had grown its own copy of
+the tuple factory and topology builder.  The factories are parameterized
+so every runner keeps its historical workload *exactly* — BENCH_N.json
+records are regression anchors, so the payload constants must not drift:
+
+- ``run_batch`` readings: ``25.0 + (i % 7)``
+- ``run_fusion`` / ``run_latency`` / ``run_columnar``: ``15.0 + (i % 13)``
+"""
+
+from __future__ import annotations
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.streams.tuple import SensorTuple
+from repro.stt.event import SttStamp
+from repro.stt.spatial import Point
+
+#: Every bench reading is stamped at the same site (Umeda, Osaka).
+SITE = Point(34.69, 135.50)
+
+
+def make_tuple(i: int, base: float = 15.0, modulo: int = 13) -> SensorTuple:
+    """The canonical bench reading: a station temperature varying with
+    ``i`` over ``[base, base + modulo)``, stamped at virtual time ``i``."""
+    return SensorTuple(
+        payload={"station": "umeda", "temperature": base + (i % modulo)},
+        stamp=SttStamp(time=float(i), location=SITE),
+        source="bench",
+        seq=i,
+    )
+
+
+def line_topology(node_count: int = 8, latency: float = 0.001) -> Topology:
+    """``n0 - n1 - ... - n{count-1}`` with uniform link latency."""
+    topo = Topology()
+    for i in range(node_count):
+        topo.add_node(f"n{i}")
+    for i in range(node_count - 1):
+        topo.add_link(f"n{i}", f"n{i + 1}", latency=latency)
+    return topo
+
+
+def line_sim(node_count: int = 8, latency: float = 0.001) -> NetworkSimulator:
+    return NetworkSimulator(topology=line_topology(node_count, latency))

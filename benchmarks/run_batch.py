@@ -35,9 +35,10 @@ import sys
 import time
 from pathlib import Path
 
+from benchmarks._batches import line_topology as _line_topology
+from benchmarks._batches import make_tuple
 from benchmarks._timing import best_rate as _best_rate
 from repro.network.netsim import NetworkSimulator
-from repro.network.topology import Topology
 from repro.pubsub.broker import BrokerNetwork
 from repro.pubsub.registry import SensorMetadata
 from repro.pubsub.subscription import SubscriptionFilter
@@ -45,7 +46,6 @@ from repro.runtime.process import OperatorProcess
 from repro.schema.schema import StreamSchema
 from repro.streams.filter import FilterOperator
 from repro.streams.tuple import SensorTuple, TupleBatch, estimate_batch_size_bytes
-from repro.stt.event import SttStamp
 from repro.stt.spatial import Point
 
 #: Batch sizes every path is measured at (1 = the legacy per-tuple path).
@@ -59,21 +59,8 @@ REGRESSION_BOUND_PCT = 5.0
 
 
 def _make_tuple(i: int) -> SensorTuple:
-    return SensorTuple(
-        payload={"station": "umeda", "temperature": 25.0 + (i % 7)},
-        stamp=SttStamp(time=float(i), location=Point(34.69, 135.50)),
-        source="bench",
-        seq=i,
-    )
-
-
-def _line_topology() -> Topology:
-    topo = Topology()
-    for i in range(8):
-        topo.add_node(f"n{i}")
-    for i in range(7):
-        topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
-    return topo
+    # BENCH_4's historical workload constants (see _batches.py).
+    return make_tuple(i, base=25.0, modulo=7)
 
 
 # -- measurements -----------------------------------------------------------

@@ -49,18 +49,17 @@ import sys
 import time
 from pathlib import Path
 
+from benchmarks._batches import line_sim
+from benchmarks._batches import make_tuple as _make_tuple
 from benchmarks._timing import gc_controlled as _gc_controlled
 
 from repro.network.netsim import NetworkSimulator
-from repro.network.topology import Topology
 from repro.runtime.process import OperatorProcess
 from repro.streams.filter import FilterOperator
 from repro.streams.fused import FusedOperator
 from repro.streams.transform import TransformOperator, ValidateOperator
-from repro.streams.tuple import SensorTuple, TupleBatch
+from repro.streams.tuple import TupleBatch
 from repro.streams.virtual import VirtualPropertyOperator
-from repro.stt.event import SttStamp
-from repro.stt.spatial import Point
 
 #: Batch sizes the chain is measured at (1 = the per-tuple path).
 BATCH_SIZES = (1, 32)
@@ -70,18 +69,6 @@ SPEEDUP_FLOORS = {"batch1": 3.0, "batch32": 1.5}
 
 #: ``process_receive`` may regress at most this much against BENCH_5.
 REGRESSION_BOUND_PCT = 5.0
-
-SITE = Point(34.69, 135.50)
-
-
-def _make_tuple(i: int) -> SensorTuple:
-    return SensorTuple(
-        payload={"station": "umeda", "temperature": 15.0 + (i % 13)},
-        stamp=SttStamp(time=float(i), location=SITE),
-        source="bench",
-        seq=i,
-    )
-
 
 def _chain_members() -> "list":
     """The acceptance chain: filter -> transform -> validate -> virtual."""
@@ -98,12 +85,7 @@ def _chain_members() -> "list":
 
 
 def _line_sim(node_count: int) -> NetworkSimulator:
-    topo = Topology()
-    for i in range(node_count):
-        topo.add_node(f"n{i}")
-    for i in range(node_count - 1):
-        topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
-    return NetworkSimulator(topology=topo)
+    return line_sim(node_count)
 
 
 def _deploy_chain(fuse: bool):
@@ -207,12 +189,7 @@ def bench_process_receive(iterations: int, repeat: int = 8) -> dict:
     """
 
     def feed(n):
-        topo = Topology()
-        for i in range(8):
-            topo.add_node(f"n{i}")
-        for i in range(7):
-            topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
-        sim = NetworkSimulator(topology=topo)
+        sim = line_sim()
         process = OperatorProcess(
             process_id="bench:filter",
             operator=FilterOperator("temperature > 24"),

@@ -38,40 +38,21 @@ import sys
 import time
 from pathlib import Path
 
+from benchmarks._batches import line_sim
+from benchmarks._batches import make_tuple as _make_tuple
 from benchmarks._timing import gc_controlled as _gc_controlled
 
 from repro.network.netsim import NetworkSimulator
-from repro.network.topology import Topology
 from repro.obs import Observability
 from repro.obs.alerts import AlertEngine, AlertRule
 from repro.runtime.process import OperatorProcess
 from repro.streams.filter import FilterOperator
-from repro.streams.tuple import SensorTuple
-from repro.stt.event import SttStamp
-from repro.stt.spatial import Point
 
 #: ``process_receive`` may regress at most this much against BENCH_7.
 REGRESSION_BOUND_PCT = 5.0
 
-SITE = Point(34.69, 135.50)
-
-
-def _make_tuple(i: int) -> SensorTuple:
-    return SensorTuple(
-        payload={"station": "umeda", "temperature": 15.0 + (i % 13)},
-        stamp=SttStamp(time=float(i), location=SITE),
-        source="bench",
-        seq=i,
-    )
-
-
 def _line_sim() -> NetworkSimulator:
-    topo = Topology()
-    for i in range(8):
-        topo.add_node(f"n{i}")
-    for i in range(7):
-        topo.add_link(f"n{i}", f"n{i + 1}", latency=0.001)
-    return NetworkSimulator(topology=topo)
+    return line_sim()
 
 
 def _filter_process(obs: "Observability | None") -> OperatorProcess:
@@ -135,6 +116,53 @@ def bench_probe_paths(iterations: int, repeat: int = 8) -> dict:
     no_plane = round(iterations / best["no_plane"])
     with_probe = round(iterations / best["with_probe"])
     return {
+        "obs_no_plane_tuples_per_sec": no_plane,
+        "obs_with_probe_tuples_per_sec": with_probe,
+        "probe_overhead_pct": round(
+            (no_plane - with_probe) / no_plane * 100.0, 1
+        ),
+    }
+
+
+def bench_probe_batched(iterations: int, batch_size: int = 32,
+                        repeat: int = 8) -> dict:
+    """Batched dispatch with the plane installed vs absent (ISSUE 9).
+
+    ``ProcessProbe.note_batch`` commits once per batch — one running-max
+    update and one worst-latency histogram observe — instead of once per
+    tuple, so the probe's overhead on the batched path must amortize to
+    near zero (the per-tuple path above stays the worst case).
+    """
+    from repro.streams.tuple import TupleBatch
+
+    def feed(batches: int, install_probe: bool) -> None:
+        obs = Observability(sampling=0.0)
+        process = _filter_process(obs)
+        if install_probe:
+            plane = obs.ensure_latency()
+            process._probe = plane.register_process(
+                process.process_id, blocking=False, sink=False
+            )
+        batch = TupleBatch.of(
+            [_make_tuple(i) for i in range(batch_size)]
+        )
+        receive_batch = process.receive_batch
+        for _ in range(batches):
+            receive_batch(batch)
+
+    batches = max(1, iterations // batch_size)
+    best = {"no_plane": float("inf"), "with_probe": float("inf")}
+    for _ in range(repeat):
+        for key, install in (("no_plane", False), ("with_probe", True)):
+            with _gc_controlled():
+                start = time.perf_counter()
+                feed(batches, install)
+                best[key] = min(best[key], time.perf_counter() - start)
+    tuples = batches * batch_size
+    no_plane = round(tuples / best["no_plane"])
+    with_probe = round(tuples / best["with_probe"])
+    return {
+        "batch_size": batch_size,
         "obs_no_plane_tuples_per_sec": no_plane,
         "obs_with_probe_tuples_per_sec": with_probe,
         "probe_overhead_pct": round(
@@ -209,6 +237,7 @@ def run(scale: int = 1, bench7: "dict | None" = None) -> dict:
     receive = bench_process_receive(receive_iters)
     receive.update(_vs_bench7(receive, bench7))
     probes = bench_probe_paths(probe_iters)
+    batched = bench_probe_batched(probe_iters)
     ticks = bench_alert_tick(tick_iters)
 
     return {
@@ -226,6 +255,12 @@ def run(scale: int = 1, bench7: "dict | None" = None) -> dict:
                            "fast path; plane installed prices the live "
                            "probe (histogram observe + watermark max per "
                            "tuple); passes interleaved against drift",
+            "probe_batched": "the batch=32 dispatch workload with the "
+                             "plane installed: note_batch commits once "
+                             "per batch (one running-max update + one "
+                             "worst-latency observe), so the overhead "
+                             "must amortize to near zero (ISSUE 9 "
+                             "regression row)",
             "alert_tick": "one AlertEngine.tick over 8 processes / 4 "
                           "rules on a populated registry; cadence-driven, "
                           "never per tuple",
@@ -235,6 +270,7 @@ def run(scale: int = 1, bench7: "dict | None" = None) -> dict:
         "results": {
             "process_receive": receive,
             "probe_paths": probes,
+            "probe_batched": batched,
             "alert_tick": ticks,
         },
     }

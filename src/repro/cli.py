@@ -82,7 +82,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     flow = osaka_scenario_flow(stack)
     deployment = stack.executor.deploy(flow, shards=_shards_from(args),
                                        elastic=_apply_rebalance(args, stack),
-                                       fuse=not args.no_fuse)
+                                       fuse=not args.no_fuse,
+                                       columnar=not args.no_columnar)
     stack.run_until(args.hours * 3600.0)
 
     print(stack.executor.monitor.render_dashboard())
@@ -126,6 +127,7 @@ def _run_observed(args: argparse.Namespace):
         flow, shards=_shards_from(args),
         elastic=_apply_rebalance(args, stack),
         fuse=not getattr(args, "no_fuse", False),
+        columnar=not getattr(args, "no_columnar", False),
     )
     stack.run_until(args.hours * 3600.0)
     return stack, deployment
@@ -236,7 +238,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
         elastic=_apply_rebalance(args, stack),
         slos=[parse_slo_expr(expr, flow.name) for expr in exprs],
     )
-    stack.executor.deploy(program, fuse=not args.no_fuse)
+    stack.executor.deploy(program, fuse=not args.no_fuse,
+                          columnar=not args.no_columnar)
     engine = stack.executor.alerts
     if args.watch:
         interval = max(args.cadence, 3600.0)
@@ -338,6 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-fuse", action="store_true",
                           help="disable operator fusion (each non-blocking "
                                "operator keeps its own process)")
+    scenario.add_argument("--no-columnar", action="store_true",
+                          help="disable columnar batch execution (fused "
+                               "chains keep the row-oriented batch path)")
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -395,6 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-fuse", action="store_true",
                        help="disable operator fusion (each non-blocking "
                             "operator keeps its own process)")
+    trace.add_argument("--no-columnar", action="store_true",
+                       help="disable columnar batch execution (fused "
+                            "chains keep the row-oriented batch path)")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -430,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--no-fuse", action="store_true",
                          help="disable operator fusion (each non-blocking "
                               "operator keeps its own process)")
+    metrics.add_argument("--no-columnar", action="store_true",
+                         help="disable columnar batch execution (fused "
+                              "chains keep the row-oriented batch path)")
     metrics.set_defaults(func=_cmd_metrics)
 
     health = sub.add_parser(
@@ -478,6 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--no-fuse", action="store_true",
                         help="disable operator fusion (each non-blocking "
                              "operator keeps its own process)")
+    health.add_argument("--no-columnar", action="store_true",
+                        help="disable columnar batch execution (fused "
+                             "chains keep the row-oriented batch path)")
     health.set_defaults(func=_cmd_health)
     return parser
 

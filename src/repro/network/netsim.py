@@ -288,7 +288,8 @@ class NetworkSimulator:
                 span = tracer.span(ctx, "transmit", start, end, **attrs)
                 tuple_ = tuple_.with_trace(ctx.child_of(span))
             traced.append(tuple_)
-        return batch.with_tuples(traced)  # type: ignore[attr-defined]
+        # Payload-preserving clone: the wire-size memo rides along.
+        return batch.with_traced(traced)  # type: ignore[attr-defined]
 
     def _deliver(
         self,

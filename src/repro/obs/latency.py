@@ -122,9 +122,47 @@ class ProcessProbe:
                 self.e2e.observe(now - event_time)
 
     def note_batch(self, now: float, tuples) -> None:
-        note = self.note
-        for tuple_ in tuples:
-            note(now, tuple_.stamp.time)
+        """A whole batch entered this process at virtual ``now``.
+
+        Batch-amortized :meth:`note`: one pass finds the batch's stamp
+        extremes, then the probe commits *once* — a single running-max
+        update from the newest stamp (watermarks are running maxima, so
+        this is bit-identical to committing per tuple) and a single
+        histogram observe of the batch's *worst* stage latency (oldest
+        stamp).  Histograms therefore count batches, not tuples, on the
+        batched path; the observed value is the conservative upper bound
+        an SLO quantile cares about.  BENCH_8 put the per-tuple probe at
+        ~60% receive overhead; this is the batched path's answer.
+
+        A :class:`~repro.streams.tuple.TupleBatch` memoizes its stamp
+        extremes on the envelope, so every probe the batch crosses (and
+        every re-delivery of a fanned-out envelope) shares one scan.
+        """
+        count = len(tuples)
+        if count == 0:
+            return
+        span = getattr(tuples, "stamp_span", None)
+        if span is not None:
+            low, high = span()
+        else:  # plain sequence: scan here
+            high = _NEG_INF
+            low = None
+            for tuple_ in tuples:
+                time = tuple_.stamp.time
+                if time > high:
+                    high = time
+                if low is None or time < low:
+                    low = time
+        self.hist.observe(now - low)
+        if high > self.pending:
+            self.pending = high
+        if self.blocking:
+            self.buffered += count
+        else:
+            if high > self.committed:
+                self.committed = high
+            if self.e2e is not None:
+                self.e2e.observe(now - low)
 
     def commit_flush(self, now: float, emitted) -> None:
         """A blocking flush fired: commit progress through ``now``.
@@ -207,8 +245,28 @@ class LatencyPlane:
         hist.observe(now - event_time)
 
     def note_publish_batch(self, source: str, now: float, tuples) -> None:
+        """Batch-amortized :meth:`note_publish` (same contract as
+        :meth:`ProcessProbe.note_batch`): one ``source_high`` running-max
+        update and one worst-latency observe per batch."""
+        high = _NEG_INF
+        low = None
         for tuple_ in tuples:
-            self.note_publish(source, now, tuple_.stamp.time)
+            time = tuple_.stamp.time
+            if time > high:
+                high = time
+            if low is None or time < low:
+                low = time
+        if low is None:
+            return
+        if high > self.source_high:
+            self.source_high = high
+        hist = self._publish_hists.get(source)
+        if hist is None:
+            hist = self._publish_hists[source] = self.metrics.histogram(
+                "stage_latency_seconds", buckets=LATENCY_BUCKETS,
+                stage="publish", source=source,
+            )
+        hist.observe(now - low)
 
     def note_deliver(self, subscription_id: str, now: float,
                      event_time: float) -> None:
@@ -222,8 +280,16 @@ class LatencyPlane:
 
     def note_deliver_batch(self, subscription_id: str, now: float,
                            tuples) -> None:
+        """Batch-amortized :meth:`note_deliver`: one worst-latency
+        observe per batch."""
+        low = None
         for tuple_ in tuples:
-            self.note_deliver(subscription_id, now, tuple_.stamp.time)
+            time = tuple_.stamp.time
+            if low is None or time < low:
+                low = time
+        if low is None:
+            return
+        self.note_deliver(subscription_id, now, low)
 
     def link_send(self, source: str, target: str) -> None:
         key = (source, target)

@@ -539,7 +539,9 @@ class BrokerNetwork:
                     tuple_ = tuple_.with_trace(ctx)
                     changed = True
             traced.append(tuple_)
-        return batch.with_tuples(traced) if changed else batch
+        # Trace attachment preserves every payload, so the clone keeps the
+        # batch's wire-size memo (with_traced, not with_tuples).
+        return batch.with_traced(traced) if changed else batch
 
     def _transmit(
         self,

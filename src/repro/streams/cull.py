@@ -32,6 +32,9 @@ class _CullBase(NonBlockingOperator):
     def _in_region(self, tuple_: SensorTuple) -> bool:
         raise NotImplementedError
 
+    def _stamp_in_region(self, stamp) -> bool:
+        raise NotImplementedError
+
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         if not self._in_region(tuple_):
             return [tuple_]
@@ -58,6 +61,26 @@ class _CullBase(NonBlockingOperator):
         self._counter = counter
         return out
 
+    def columnar_step(self, col, sel):
+        """Column kernel: region test over the stamp column, with the
+        deterministic down-sampling counter held in a local and written
+        back once (same discipline as the row batch path)."""
+        stamps = col.stamp_column()
+        in_region = self._stamp_in_region
+        rate = self.rate
+        counter = self._counter
+        keep: list[int] = []
+        append = keep.append
+        for i in sel:
+            if not in_region(stamps[i]):
+                append(i)
+                continue
+            counter += 1
+            if counter % rate == 0:
+                append(i)
+        self._counter = counter
+        return keep, 0
+
     def reset(self) -> None:
         super().reset()
         self._counter = 0
@@ -75,6 +98,9 @@ class CullTimeOperator(_CullBase):
 
     def _in_region(self, tuple_: SensorTuple) -> bool:
         return self.window.contains(tuple_.stamp.time)
+
+    def _stamp_in_region(self, stamp) -> bool:
+        return self.window.contains(stamp.time)
 
     def describe(self) -> str:
         return f"γ{self.rate}(s, ⟨{self.window.start}, {self.window.end}⟩)"
@@ -103,6 +129,9 @@ class CullSpaceOperator(_CullBase):
 
     def _in_region(self, tuple_: SensorTuple) -> bool:
         return within(tuple_.stamp.location, self.area)
+
+    def _stamp_in_region(self, stamp) -> bool:
+        return within(stamp.location, self.area)
 
     def describe(self) -> str:
         return (

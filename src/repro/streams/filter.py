@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.errors import ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
+from repro.expr.vectorize import predicate_kernel
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
 
@@ -23,6 +24,7 @@ class FilterOperator(NonBlockingOperator):
         # hot path, the first reading should not pay the compile.
         self.condition = condition.prepare()
         self._predicate = self.condition.bind_bool()
+        self._vpredicate = None  # column kernel, built on first columnar use
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         # The predicate only reads, so it runs against the immutable
@@ -47,6 +49,18 @@ class FilterOperator(NonBlockingOperator):
         if errors:
             self.stats.errors += errors
         return out
+
+    def columnar_step(self, col, sel):
+        """Column kernel: map a selection to the rows passing the condition.
+
+        Returns ``(kept_rows, error_count)``; rows whose evaluation raised
+        (or returned a non-boolean) are quarantined, exactly like the row
+        path's per-tuple ``except ExpressionError``.
+        """
+        kernel = self._vpredicate
+        if kernel is None:
+            kernel = self._vpredicate = predicate_kernel(self.condition)
+        return kernel(col.columns, sel)
 
     def describe(self) -> str:
         return f"σ(s, {self.condition.source})"

@@ -23,6 +23,19 @@ Member semantics are preserved exactly:
   per-member ``process_tuples_total`` counters keep their *member*
   process labels, so the metrics output is indistinguishable from an
   unfused run even though only one process exists.
+
+When every member exposes a column kernel (``columnar_step``) and the
+deployment left columnar execution on, batches of at least
+``MIN_COLUMNAR_ROWS`` uniform-schema rows take the columnar pipeline
+instead: the batch is transposed once (cached on the envelope), each
+member narrows a selection vector over shared columns, and the chain
+emits a :class:`~repro.streams.columnar.LazyRows` view — rows
+re-materialize to :class:`SensorTuple` only when a consumer reads them
+(the hosting process forwarding to blocking/sink/sharded routes), never
+between members and never for output nobody consumes.  Per-member
+stats, counters, and
+error quarantine follow the exact ``on_batch`` accounting, which the
+columnar≡row Hypothesis suite pins end to end.
 """
 
 from __future__ import annotations
@@ -31,7 +44,8 @@ from typing import Sequence
 
 from repro.errors import CheckpointError, ExpressionError, StreamLoaderError
 from repro.streams.base import NonBlockingOperator, Operator
-from repro.streams.tuple import SensorTuple
+from repro.streams.columnar import MIN_COLUMNAR_ROWS, ColumnarBatch, LazyRows
+from repro.streams.tuple import SensorTuple, TupleBatch
 
 #: Separator used for fused process/operator names (``a+b+c``).
 FUSED_NAME_SEPARATOR = "+"
@@ -78,6 +92,15 @@ class FusedOperator(NonBlockingOperator):
         self.cost_per_tuple = sum(m.cost_per_tuple for m in self.members)
         self._batch_steps = [m.on_batch for m in self.members]
         self._member_counters: "list[object] | None" = None
+        #: Whether this chain may execute batches columnar (the executor
+        #: clears it for ``deploy(columnar=False)`` / `--no-columnar`).
+        self.columnar = True
+        self._columnar_steps = [
+            getattr(m, "columnar_step", None) for m in self.members
+        ]
+        self._columnar_capable = all(
+            step is not None for step in self._columnar_steps
+        )
 
     # -- observability -----------------------------------------------------
 
@@ -145,7 +168,23 @@ class FusedOperator(NonBlockingOperator):
 
     def _process_batch(
         self, tuples: "Sequence[SensorTuple]", port: int
-    ) -> "list[SensorTuple]":
+    ) -> "Sequence[SensorTuple]":
+        if (
+            self.columnar
+            and self._columnar_capable
+            and len(tuples) >= MIN_COLUMNAR_ROWS
+        ):
+            # The transposition is cached on the batch envelope, so other
+            # subscribers' chains receiving the same batch reuse it; the
+            # fork keeps this pipeline's column installs private.
+            col = (
+                tuples.columnar()
+                if isinstance(tuples, TupleBatch)
+                else ColumnarBatch.from_tuples(tuples)
+            )
+            if col is not None:
+                return self._process_columnar(col.fork())
+            # Heterogeneous schema: fall through to the row path.
         counters = self._member_counters
         out: "Sequence[SensorTuple]" = tuples
         for index, step in enumerate(self._batch_steps):
@@ -155,6 +194,29 @@ class FusedOperator(NonBlockingOperator):
             if not out:
                 return []
         return list(out)
+
+    def _process_columnar(self, col: ColumnarBatch) -> "Sequence[SensorTuple]":
+        # Reproduces the row batch path's per-member ``on_batch``
+        # accounting exactly: counter + tuples_in before the step,
+        # errors and tuples_out after, early exit on an empty selection.
+        counters = self._member_counters
+        sel: "Sequence[int]" = range(col.count)
+        for index, member in enumerate(self.members):
+            count = len(sel)
+            if counters is not None:
+                counters[index].inc(count)
+            stats = member.stats
+            stats.tuples_in += count
+            sel, errors = self._columnar_steps[index](col, sel)
+            if errors:
+                stats.errors += errors
+            stats.tuples_out += len(sel)
+            if not sel:
+                return []
+        # The emissions stay columnar until something row-oriented reads
+        # them: forwarding to routes materializes (building the outgoing
+        # batch), while a tail with no consumers never builds rows at all.
+        return LazyRows(col, sel)
 
     # -- lifecycle ---------------------------------------------------------
 

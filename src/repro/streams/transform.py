@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.errors import DataflowError, ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
+from repro.expr.vectorize import predicate_kernel, values_kernel
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
 
@@ -54,6 +55,7 @@ class TransformOperator(NonBlockingOperator):
         self._assign = [
             (attr, expr.bind()) for attr, expr in self.assignments.items()
         ]
+        self._vassign = None  # column kernels, built on first columnar use
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         # Assignments see the original (immutable) payload — evaluating
@@ -100,6 +102,55 @@ class TransformOperator(NonBlockingOperator):
             self.stats.errors += errors
         return out
 
+    def columnar_step(self, col, sel):
+        """Column kernels: evaluate every assignment over the selection,
+        then apply rename/project as whole-column dict operations.
+
+        A row failing *any* assignment is quarantined whole-row, matching
+        the row path's single ``try`` around all assignments.  Assignment
+        kernels all read the pre-image columns (installs happen after all
+        evaluations), which makes the order-independence guarantee
+        structural here too.
+        """
+        kernels = self._vassign
+        if kernels is None:
+            kernels = self._vassign = [
+                (attr, values_kernel(expr))
+                for attr, expr in self.assignments.items()
+            ]
+        errors = 0
+        if kernels:
+            columns = col.columns
+            count = col.count
+            results = [kernel(columns, sel) for _, kernel in kernels]
+            bad: "set[int]" = set()
+            for _, errs in results:
+                bad.update(errs)
+            full = len(sel) == count and not bad
+            for (attr, _), (vals, _) in zip(kernels, results):
+                if full:
+                    # Selection covers every row in order: the kernel's
+                    # output is already row-aligned.
+                    col.set_column(attr, vals)
+                    continue
+                column = [None] * count
+                if bad:
+                    for pos, i in enumerate(sel):
+                        if i not in bad:
+                            column[i] = vals[pos]
+                else:
+                    for pos, i in enumerate(sel):
+                        column[i] = vals[pos]
+                col.set_column(attr, column)
+            if bad:
+                errors = len(bad)
+                sel = [i for i in sel if i not in bad]
+        if self.rename:
+            col.rename_columns(self.rename)
+        if self.project is not None:
+            col.project_columns(self.project)
+        return sel, errors
+
     def describe(self) -> str:
         parts = [f"{attr}:={expr.source}" for attr, expr in self.assignments.items()]
         parts += [f"{old}->{new}" for old, new in self.rename.items()]
@@ -127,6 +178,7 @@ class ValidateOperator(NonBlockingOperator):
             for rule in rules
         ]
         self._checks = [rule.bind_bool() for rule in self.rules]
+        self._vchecks = None  # column kernels, built on first columnar use
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         values = tuple_.payload  # rules only read; no per-tuple copy
@@ -157,6 +209,29 @@ class ValidateOperator(NonBlockingOperator):
         if errors:
             self.stats.errors += errors
         return out
+
+    def columnar_step(self, col, sel):
+        """Column kernels: narrow the selection through each rule in turn.
+
+        Rule *k* only evaluates rows that passed rules *1..k-1* — the same
+        evaluation set as the row path's first-violation ``break`` — and
+        every non-True row (violation, evaluation failure, non-boolean)
+        counts as an error, matching validate's quarantine convention.
+        """
+        kernels = self._vchecks
+        if kernels is None:
+            kernels = self._vchecks = [
+                predicate_kernel(rule) for rule in self.rules
+            ]
+        errors = 0
+        columns = col.columns
+        for kernel in kernels:
+            kept, _ = kernel(columns, sel)
+            errors += len(sel) - len(kept)
+            sel = kept
+            if not sel:
+                break
+        return sel, errors
 
     def describe(self) -> str:
         rules = " ∧ ".join(rule.source for rule in self.rules)

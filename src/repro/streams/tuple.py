@@ -15,6 +15,11 @@ from repro.stt.event import Event, SttStamp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import TraceContext
+    from repro.streams.columnar import ColumnarBatch
+
+#: Cached marker for batches that cannot be transposed (heterogeneous
+#: payload schemas) so re-deliveries don't retry the conversion.
+_NOT_COLUMNAR = object()
 
 
 @dataclass(frozen=True)
@@ -147,6 +152,15 @@ class TupleBatch:
 
     tuples: tuple[SensorTuple, ...]
     source: str = ""
+    # Lazy per-batch caches, excluded from value semantics: the wire-size
+    # memo (sized once however many links/routes the batch crosses) and
+    # the columnar transposition (built once however many subscribers'
+    # fused chains receive this envelope).
+    _wire: "int | None" = field(default=None, compare=False, repr=False)
+    _cols: object = field(default=None, compare=False, repr=False)
+    _span: "tuple[float, float] | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.tuples, tuple):
@@ -166,6 +180,54 @@ class TupleBatch:
 
     def with_tuples(self, tuples: "Sequence[SensorTuple]") -> "TupleBatch":
         return TupleBatch(tuples=tuple(tuples), source=self.source)
+
+    def with_traced(self, tuples: "Sequence[SensorTuple]") -> "TupleBatch":
+        """Like :meth:`with_tuples` for per-tuple clones that all kept
+        their payloads (trace attachment): the wire-size memo depends
+        only on payloads, so it carries over to the clone."""
+        clone = TupleBatch(tuples=tuple(tuples), source=self.source)
+        size = self._wire
+        if size is not None:
+            object.__setattr__(clone, "_wire", size)
+        span = self._span
+        if span is not None:  # trace attachment keeps every stamp
+            object.__setattr__(clone, "_span", span)
+        return clone
+
+    def stamp_span(self) -> "tuple[float, float]":
+        """``(oldest, newest)`` stamp time across the batch.
+
+        Computed once per envelope: stamps are immutable, but every
+        latency probe along the batch's path needs the same extremes
+        (watermark advance from the newest, worst stage latency from the
+        oldest), and multi-subscriber fan-out re-delivers one envelope.
+        """
+        span = self._span
+        if span is None:
+            times = [t.stamp.time for t in self.tuples]
+            span = (min(times), max(times))
+            object.__setattr__(self, "_span", span)
+        return span
+
+    def columnar(self) -> "ColumnarBatch | None":
+        """Transpose to struct-of-arrays form, lazily and at most once.
+
+        Returns ``None`` when the batch is heterogeneous (rows disagree
+        on payload schema); the negative result is cached too.  Callers
+        must :meth:`ColumnarBatch.fork` before installing columns.
+        """
+        cached = self._cols
+        if cached is None:
+            from repro.streams.columnar import ColumnarBatch
+
+            cached = ColumnarBatch.from_tuples(self.tuples)
+            object.__setattr__(
+                self, "_cols", _NOT_COLUMNAR if cached is None else cached
+            )
+            return cached
+        if cached is _NOT_COLUMNAR:
+            return None
+        return cached  # type: ignore[return-value]
 
     @classmethod
     def of(cls, tuples: "Sequence[SensorTuple]") -> "TupleBatch":
@@ -216,5 +278,18 @@ def estimate_batch_size_bytes(batch: "TupleBatch | Sequence[SensorTuple]") -> in
     One batch envelope plus every member's individual size — batching
     amortizes *framing work* (routing, scheduling, dispatch), not payload
     bytes, so links are still charged for each reading they carry.
+
+    Memoized per batch envelope: the same batch is sized once per route
+    it fans out to and once per link it crosses, and payload-preserving
+    clones (:meth:`TupleBatch.with_traced`) inherit the memo.
     """
+    if isinstance(batch, TupleBatch):
+        cached = batch._wire
+        if cached is not None:
+            return cached
+        size = BATCH_ENVELOPE_BYTES + sum(
+            estimate_size_bytes(t) for t in batch.tuples
+        )
+        object.__setattr__(batch, "_wire", size)
+        return size
     return BATCH_ENVELOPE_BYTES + sum(estimate_size_bytes(t) for t in batch)

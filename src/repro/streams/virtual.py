@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.errors import DataflowError, ExpressionError
 from repro.expr.eval import CompiledExpression, compile_expression
+from repro.expr.vectorize import values_kernel
 from repro.streams.base import NonBlockingOperator
 from repro.streams.tuple import SensorTuple
 
@@ -41,6 +42,7 @@ class VirtualPropertyOperator(NonBlockingOperator):
         spec = compile_expression(spec) if isinstance(spec, str) else spec
         self.spec = spec.prepare()
         self._evaluate = self.spec.bind()
+        self._vspec = None  # column kernel, built on first columnar use
 
     def _process(self, tuple_: SensorTuple, port: int) -> list[SensorTuple]:
         payload = tuple_.payload
@@ -79,6 +81,40 @@ class VirtualPropertyOperator(NonBlockingOperator):
         if errors:
             self.stats.errors += errors
         return out
+
+    def columnar_step(self, col, sel):
+        """Column kernel: compute the property for the selection, append
+        it as a new column.
+
+        A name collision quarantines *every* selected row (the schema is
+        uniform across a columnar batch, so the row path would collide on
+        each one); evaluation failures quarantine per row.
+        """
+        name = self.property_name
+        if name in col.fields:
+            return [], len(sel)
+        kernel = self._vspec
+        if kernel is None:
+            kernel = self._vspec = values_kernel(self.spec)
+        vals, errs = kernel(col.columns, sel)
+        count = col.count
+        errors = 0
+        if len(sel) == count and not errs:
+            col.set_column(name, vals)
+            return sel, 0
+        column = [None] * count
+        if errs:
+            bad = set(errs)
+            errors = len(bad)
+            for pos, i in enumerate(sel):
+                if i not in bad:
+                    column[i] = vals[pos]
+            sel = [i for i in sel if i not in bad]
+        else:
+            for pos, i in enumerate(sel):
+                column[i] = vals[pos]
+        col.set_column(name, column)
+        return sel, errors
 
     def describe(self) -> str:
         return f"⊎s⟨{self.property_name}, {self.spec.source}⟩"

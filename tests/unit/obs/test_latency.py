@@ -58,7 +58,10 @@ class TestProcessProbe:
         probe.note(10.0, 7.5)
         assert plane.e2e.count == 0
 
-    def test_note_batch_matches_repeated_note(self, plane, make_tuple):
+    def test_note_batch_commits_like_repeated_note(self, plane, make_tuple):
+        # Watermark state (running maxima) must be bit-identical to noting
+        # every tuple; that is what the alert-determinism property relies
+        # on across batch sizes.
         a = plane.register_process("a", blocking=False, sink=False)
         b = plane.register_process("b", blocking=False, sink=False)
         tuples = [make_tuple(i, time=float(i)) for i in range(5)]
@@ -66,7 +69,33 @@ class TestProcessProbe:
         for tuple_ in tuples:
             b.note(10.0, tuple_.stamp.time)
         assert a.committed == b.committed == 4.0
-        assert a.hist.count == b.hist.count == 5
+        assert a.pending == b.pending == 4.0
+
+    def test_note_batch_amortizes_histogram_observes(self, plane, make_tuple):
+        # The batched path records one observe per batch — the batch's
+        # *worst* stage latency (oldest stamp) — instead of one per tuple
+        # (BENCH_8 measured the per-tuple probe at ~60% receive overhead).
+        probe = plane.register_process("a", blocking=False, sink=True)
+        tuples = [make_tuple(i, time=float(i)) for i in range(5)]
+        probe.note_batch(10.0, tuples)
+        assert probe.hist.count == 1
+        assert probe.hist.sum == pytest.approx(10.0)  # now - oldest stamp
+        assert plane.e2e.count == 1
+        assert plane.e2e.sum == pytest.approx(10.0)
+
+    def test_note_batch_buffers_whole_batch_when_blocking(
+        self, plane, make_tuple
+    ):
+        probe = plane.register_process("agg", blocking=True, sink=False)
+        probe.note_batch(10.0, [make_tuple(i, time=float(i)) for i in range(5)])
+        assert probe.buffered == 5
+        assert probe.committed == float("-inf")  # commits only at flush
+
+    def test_note_batch_on_empty_batch_is_a_no_op(self, plane):
+        probe = plane.register_process("a", blocking=False, sink=False)
+        probe.note_batch(10.0, [])
+        assert probe.hist.count == 0
+        assert probe.pending == float("-inf")
 
     def test_flush_histogram_records_emitted_staleness(self, plane, make_tuple):
         probe = plane.register_process("agg", blocking=True, sink=False)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.streams.tuple import SensorTuple, estimate_size_bytes
+from repro.streams.tuple import (
+    SensorTuple,
+    TupleBatch,
+    estimate_batch_size_bytes,
+    estimate_size_bytes,
+)
 from repro.stt.event import SttStamp
 from repro.stt.spatial import Point
 
@@ -74,3 +79,71 @@ class TestSizeEstimate:
     def test_envelope_minimum(self):
         empty = SensorTuple(payload={}, stamp=SttStamp(0.0, Point(0, 0)))
         assert estimate_size_bytes(empty) >= 48
+
+
+class TestBatchSizeMemo:
+    def test_batch_size_is_memoized_on_the_envelope(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i) for i in range(3)])
+        size = estimate_batch_size_bytes(batch)
+        # The second call must answer from the envelope memo, not resum.
+        object.__setattr__(batch, "_wire", size + 1000)
+        assert estimate_batch_size_bytes(batch) == size + 1000
+
+    def test_with_traced_inherits_the_memo(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i) for i in range(3)])
+        size = estimate_batch_size_bytes(batch)
+        traced = batch.with_traced(list(batch))
+        assert traced._wire == size
+
+    def test_with_tuples_does_not_inherit_the_memo(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i) for i in range(3)])
+        estimate_batch_size_bytes(batch)
+        subset = batch.with_tuples(list(batch)[:1])  # rows changed: resize
+        assert subset._wire is None
+
+    def test_memo_survives_with_owned_payload_clones(self, make_tuple):
+        # A transform-style rewrite clones every tuple through
+        # ``with_owned_payload``.  The original envelope must keep
+        # answering from its memo, and the clones must *not* drag stale
+        # per-tuple memos along — their payloads changed size.
+        batch = TupleBatch.of([make_tuple(i) for i in range(3)])
+        size = estimate_batch_size_bytes(batch)
+        clones = [
+            t.with_owned_payload(dict(t.payload, padding="x" * 64))
+            for t in batch
+        ]
+        grown = TupleBatch.of(clones)
+        assert estimate_batch_size_bytes(batch) == size
+        assert estimate_batch_size_bytes(grown) > size
+
+    def test_payload_preserving_tuple_clones_keep_the_tuple_memo(
+        self, make_tuple
+    ):
+        tuple_ = make_tuple(0)
+        size = estimate_size_bytes(tuple_)
+        traced = tuple_.relabelled("elsewhere")
+        assert traced.__dict__.get("_wire_size") == size
+
+
+class TestStampSpanMemo:
+    def test_span_is_stamp_extremes(self, make_tuple):
+        batch = TupleBatch.of(
+            [make_tuple(i, time=float(t)) for i, t in enumerate([5, 1, 9])]
+        )
+        assert batch.stamp_span() == (1.0, 9.0)
+
+    def test_span_is_memoized_on_the_envelope(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i, time=float(i)) for i in range(3)])
+        batch.stamp_span()
+        object.__setattr__(batch, "_span", (-1.0, -1.0))
+        assert batch.stamp_span() == (-1.0, -1.0)
+
+    def test_with_traced_inherits_the_span(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i, time=float(i)) for i in range(3)])
+        span = batch.stamp_span()
+        assert batch.with_traced(list(batch))._span == span
+
+    def test_with_tuples_does_not_inherit_the_span(self, make_tuple):
+        batch = TupleBatch.of([make_tuple(i, time=float(i)) for i in range(3)])
+        batch.stamp_span()
+        assert batch.with_tuples(list(batch)[:1])._span is None
