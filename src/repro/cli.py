@@ -76,15 +76,25 @@ def _apply_rebalance(args: argparse.Namespace, stack) -> bool:
     return True
 
 
+def _backend_from(args: argparse.Namespace) -> dict:
+    """``--backend``/``--time-scale`` -> build_stack keyword arguments."""
+    return {
+        "backend": getattr(args, "backend", "sim"),
+        "time_scale": getattr(args, "time_scale", None),
+    }
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     stack = build_stack(hot=not args.cool, extended=args.extended,
-                        seed=args.seed, batching=_batching_from(args))
-    flow = osaka_scenario_flow(stack)
-    deployment = stack.executor.deploy(flow, shards=_shards_from(args),
-                                       elastic=_apply_rebalance(args, stack),
-                                       fuse=not args.no_fuse,
-                                       columnar=not args.no_columnar)
-    stack.run_until(args.hours * 3600.0)
+                        seed=args.seed, batching=_batching_from(args),
+                        **_backend_from(args))
+    with stack:
+        flow = osaka_scenario_flow(stack)
+        deployment = stack.executor.deploy(flow, shards=_shards_from(args),
+                                           elastic=_apply_rebalance(args, stack),
+                                           fuse=not args.no_fuse,
+                                           columnar=not args.no_columnar)
+        stack.run_until(args.hours * 3600.0)
 
     print(stack.executor.monitor.render_dashboard())
     print()
@@ -115,21 +125,23 @@ def _run_observed(args: argparse.Namespace):
         seed=getattr(args, "seed", 7),
         observability=args.sampling,
         batching=_batching_from(args),
+        **_backend_from(args),
     )
-    name = getattr(args, "dataflow", "osaka")
-    if name == "osaka":
-        flow = osaka_scenario_flow(stack)
-    elif name == "stations":
-        flow = sharded_aggregation_flow(stack)
-    else:
-        flow = _load_canvas(name)
-    deployment = stack.executor.deploy(
-        flow, shards=_shards_from(args),
-        elastic=_apply_rebalance(args, stack),
-        fuse=not getattr(args, "no_fuse", False),
-        columnar=not getattr(args, "no_columnar", False),
-    )
-    stack.run_until(args.hours * 3600.0)
+    with stack:
+        name = getattr(args, "dataflow", "osaka")
+        if name == "osaka":
+            flow = osaka_scenario_flow(stack)
+        elif name == "stations":
+            flow = sharded_aggregation_flow(stack)
+        else:
+            flow = _load_canvas(name)
+        deployment = stack.executor.deploy(
+            flow, shards=_shards_from(args),
+            elastic=_apply_rebalance(args, stack),
+            fuse=not getattr(args, "no_fuse", False),
+            columnar=not getattr(args, "no_columnar", False),
+        )
+        stack.run_until(args.hours * 3600.0)
     return stack, deployment
 
 
@@ -222,6 +234,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
         batching=_batching_from(args),
         latency=True,
         alert_cadence=args.cadence,
+        **_backend_from(args),
     )
     name = args.dataflow
     if name == "osaka":
@@ -249,7 +262,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
             print()
 
         stack.clock.schedule_periodic(interval, show, start_delay=interval)
-    stack.run_until(args.hours * 3600.0)
+    with stack:
+        stack.run_until(args.hours * 3600.0)
     if args.json:
         print(json.dumps(engine.health_json(), sort_keys=True, indent=2))
     else:
@@ -308,6 +322,18 @@ def _cmd_sensors(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend knobs shared by the run-a-dataflow commands."""
+    parser.add_argument("--backend", choices=("sim", "async"), default="sim",
+                        help="execution backend: 'sim' (deterministic "
+                             "discrete-event, the oracle) or 'async' (real "
+                             "asyncio tasks over bounded queues)")
+    parser.add_argument("--time-scale", type=float, default=0.0, metavar="X",
+                        help="async pacing: X virtual seconds per wall "
+                             "second (default 0: free-run as fast as the "
+                             "event loop drains)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -344,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-columnar", action="store_true",
                           help="disable columnar batch execution (fused "
                                "chains keep the row-oriented batch path)")
+    _add_backend_args(scenario)
     scenario.set_defaults(func=_cmd_scenario)
 
     operators = sub.add_parser("operators", help="list the Table 1 palette")
@@ -404,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-columnar", action="store_true",
                        help="disable columnar batch execution (fused "
                             "chains keep the row-oriented batch path)")
+    _add_backend_args(trace)
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -442,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--no-columnar", action="store_true",
                          help="disable columnar batch execution (fused "
                               "chains keep the row-oriented batch path)")
+    _add_backend_args(metrics)
     metrics.set_defaults(func=_cmd_metrics)
 
     health = sub.add_parser(
@@ -493,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--no-columnar", action="store_true",
                         help="disable columnar batch execution (fused "
                              "chains keep the row-oriented batch path)")
+    _add_backend_args(health)
     health.set_defaults(func=_cmd_health)
     return parser
 

@@ -62,6 +62,10 @@ class NetworkSimulator:
     >>> sim.clock.run()   # doctest: +SKIP
     """
 
+    #: Which execution backend this transport belongs to.  The monitor
+    #: surfaces it so a report is self-describing about what produced it.
+    backend_name = "sim"
+
     def __init__(
         self,
         topology: "Topology | None" = None,
@@ -128,9 +132,7 @@ class NetworkSimulator:
                 )
                 payload = payload.with_trace(ctx.child_of(span))
             message = Message(source, target, payload, size_bytes, now)
-            self.clock.schedule(
-                0.0, lambda: self._deliver(message, on_delivery, on_drop)
-            )
+            self._schedule_delivery(message, 0.0, on_delivery, on_drop)
             return message
 
         try:
@@ -174,9 +176,7 @@ class NetworkSimulator:
         message = Message(source, target, payload, size_bytes, now)
         if self.plane is not None:
             self.plane.link_send(source, target)
-        self.clock.schedule(
-            delay, lambda: self._deliver(message, on_delivery, on_drop)
-        )
+        self._schedule_delivery(message, delay, on_delivery, on_drop)
         return message
 
     def send_batch(
@@ -213,9 +213,7 @@ class NetworkSimulator:
         if source == target:
             batch = self._trace_batch_transmit(batch, source, target, now, now)
             message = Message(source, target, batch, size_bytes, now, units)
-            self.clock.schedule(
-                0.0, lambda: self._deliver(message, on_delivery, on_drop)
-            )
+            self._schedule_delivery(message, 0.0, on_delivery, on_drop)
             return message
 
         try:
@@ -250,9 +248,7 @@ class NetworkSimulator:
         message = Message(source, target, batch, size_bytes, now, units)
         if self.plane is not None:
             self.plane.link_send(source, target)
-        self.clock.schedule(
-            delay, lambda: self._deliver(message, on_delivery, on_drop)
-        )
+        self._schedule_delivery(message, delay, on_delivery, on_drop)
         return message
 
     def _trace_batch_transmit(
@@ -290,6 +286,25 @@ class NetworkSimulator:
             traced.append(tuple_)
         # Payload-preserving clone: the wire-size memo rides along.
         return batch.with_traced(traced)  # type: ignore[attr-defined]
+
+    def _schedule_delivery(
+        self,
+        message: Message,
+        delay: float,
+        on_delivery: Callable[[object], None],
+        on_drop: "Callable[[Message, str], None] | None",
+    ) -> None:
+        """Hand a routed message to the delivery substrate.
+
+        The seam between routing (shared by every backend: route lookup,
+        QoS admission, link accounting, stats) and delivery.  Here the
+        message becomes a clock event that fires :meth:`_deliver` after
+        ``delay``; the asyncio backend overrides this to land the message
+        in the target node's bounded queue at the same virtual instant.
+        """
+        self.clock.schedule(
+            delay, lambda: self._deliver(message, on_delivery, on_drop)
+        )
 
     def _deliver(
         self,

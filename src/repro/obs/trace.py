@@ -54,6 +54,11 @@ class Span:
     start: float
     end: float
     attrs: dict[str, object] = field(default_factory=dict)
+    #: Wall-clock stamp at recording time, when the bound clock has one
+    #: (the asyncio backend's clock does; the simulator's doesn't).
+    #: Virtual times answer "when in the modelled world"; this answers
+    #: "when in this run" — the async benchmark's latency source.
+    wall: "float | None" = None
 
     @property
     def duration(self) -> float:
@@ -88,12 +93,24 @@ class Tracer:
         #: Virtual-clock source for control events recorded without a
         #: caller-supplied time (bound by the executor to the sim clock).
         self._now: "Callable[[], float] | None" = None
+        #: Wall-clock source, bound only when the clock exposes one.
+        self._wall: "Callable[[], float] | None" = None
 
     # -- wiring ------------------------------------------------------------
 
     def bind_clock(self, clock) -> None:
-        """Use ``clock.now`` for control events without an explicit time."""
+        """Use ``clock.now`` for control events without an explicit time.
+
+        A clock exposing ``wall_now`` (the asyncio backend's) also
+        becomes the wall-stamp source for recorded spans.  The stamp is
+        taken inside :meth:`_record`, which is only reached with a live
+        trace context — sampling=0 still costs nothing (the zero-cost
+        contract of DESIGN.md §12 holds on every backend).
+        """
         self._now = lambda: clock.now
+        self._wall = (
+            (lambda: clock.wall_now) if hasattr(clock, "wall_now") else None
+        )
 
     @property
     def enabled(self) -> bool:
@@ -167,6 +184,7 @@ class Tracer:
             start=start,
             end=end,
             attrs=attrs,
+            wall=self._wall() if self._wall is not None else None,
         )
         self._next_span += 1
         spans = self._traces.get(trace_id)

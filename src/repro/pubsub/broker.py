@@ -462,6 +462,18 @@ class BrokerNetwork:
             self._transmit_batch(metadata, subscription, batch, attempt=0)
         return initiated
 
+    def _now(self) -> float:
+        """Current virtual time (0.0 when running transport-less).
+
+        This is the broker's only notion of time: publication stamps,
+        retry backoff and dead-letter ``failed_at`` all read the
+        transport's clock, so the broker is execution-backend agnostic —
+        under the asyncio backend the same clock reports logical epoch
+        deadlines and delivery crosses bounded queues, with no broker
+        changes.
+        """
+        return self.netsim.clock.now if self.netsim is not None else 0.0
+
     def _observe_publish(
         self, metadata: SensorMetadata, tuple_: SensorTuple
     ) -> SensorTuple:
@@ -479,11 +491,11 @@ class BrokerNetwork:
         counter.inc()
         plane = obs.latency
         if plane is not None:
-            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            now = self._now()
             plane.note_publish(metadata.sensor_id, now, tuple_.stamp.time)
         tracer = obs.tracer
         if tuple_.trace is None and tracer.enabled:
-            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            now = self._now()
             ctx = tracer.start_trace(
                 "publish", now,
                 source=metadata.sensor_id,
@@ -518,12 +530,12 @@ class BrokerNetwork:
         self._batch_size_histogram.observe(count)
         plane = obs.latency
         if plane is not None:
-            now = self.netsim.clock.now if self.netsim is not None else 0.0
+            now = self._now()
             plane.note_publish_batch(metadata.sensor_id, now, batch)
         tracer = obs.tracer
         if not tracer.enabled:
             return batch
-        now = self.netsim.clock.now if self.netsim is not None else 0.0
+        now = self._now()
         traced = []
         changed = False
         for tuple_ in batch:

@@ -1,0 +1,37 @@
+"""The simulator backend: today's discrete-event stack behind the interface.
+
+A thin wrapper — the clock is the :class:`~repro.network.simclock
+.SimClock` the simulator already owns, the transport *is* the
+:class:`~repro.network.netsim.NetworkSimulator`, and processes execute
+inline in delivery callbacks, so ``host_process`` has nothing to do.
+Wrapping an existing simulator changes nothing about its behaviour;
+byte-for-byte this is the stack every earlier PR ran on, which is what
+makes it the determinism oracle the parity suite compares the async
+backend against.
+"""
+
+from __future__ import annotations
+
+from repro.network.netsim import NetworkSimulator
+from repro.network.topology import Topology
+from repro.runtime.backends.base import ExecutionBackend
+
+
+class SimBackend(ExecutionBackend):
+    """Deterministic discrete-event execution (the default)."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        netsim: "NetworkSimulator | None" = None,
+        topology: "Topology | None" = None,
+    ) -> None:
+        if netsim is None:
+            netsim = NetworkSimulator(topology=topology)
+        self.transport = netsim
+        self.clock = netsim.clock
+        self.topology = netsim.topology
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        return self.clock.run_until(time, max_events)

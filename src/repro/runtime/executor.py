@@ -38,6 +38,8 @@ from repro.network.netsim import NetworkSimulator
 from repro.pubsub.broker import BrokerNetwork
 from repro.pubsub.registry import SensorMetadata
 from repro.pubsub.subscription import Subscription
+from repro.runtime.backends.base import ExecutionBackend
+from repro.runtime.backends.sim import SimBackend
 from repro.runtime.lifecycle import DeploymentState
 from repro.runtime.monitor import Monitor
 from repro.runtime.process import OperatorProcess
@@ -253,12 +255,19 @@ class Executor:
         obs: "object | None" = None,
         rebalance_config: "object | None" = None,
         alert_cadence: float = 60.0,
+        backend: "ExecutionBackend | None" = None,
     ) -> None:
         if not (0.0 < source_quorum <= 1.0):
             raise DeploymentError(
                 f"source_quorum must be in (0, 1]: {source_quorum}"
             )
         self.netsim = netsim
+        #: Execution backend the deployed processes run on.  Defaults to
+        #: wrapping ``netsim`` in a SimBackend, which changes nothing —
+        #: the simulator executes processes inline in delivery callbacks.
+        if backend is None:
+            backend = SimBackend(netsim)
+        self.backend = backend
         self.broker_network = broker_network
         #: Observability bundle (``repro.obs.Observability``); threads
         #: through the monitor, every spawned process, the SCN's placement
@@ -551,9 +560,11 @@ class Executor:
         if program.slos:
             self._install_slo_plane(deployment)
 
-        # Start processes and monitoring.
+        # Start processes, hand them to the execution backend, and monitor.
         for process in deployment.processes.values():
             process.start()
+        for process in deployment.processes.values():
+            self.backend.host_process(process)
         self.monitor.watch(program.name, list(deployment.processes.values()))
         self.monitor.log(program.name, "deployed", f"{len(deployment.processes)} processes")
         deployment.state = DeploymentState.RUNNING

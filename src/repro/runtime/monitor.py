@@ -439,6 +439,7 @@ class Monitor:
         """The statistics panel: everything Figure 3 displays, as data."""
         report = {
             "time": self.netsim.clock.now,
+            "backend": getattr(self.netsim, "backend_name", "sim"),
             "operation_rates": {
                 key: series.last for key, series in self.operation_rates.items()
             },
@@ -485,8 +486,11 @@ class Monitor:
     def render_dashboard(self) -> str:
         """ASCII rendering of the monitoring screen (Figure 3 stand-in)."""
         report = self.report()
+        # The sim header is golden-pinned; only non-default backends tag it.
+        backend = report["backend"]
+        tag = "" if backend == "sim" else f" [{backend}]"
         lines = [
-            f"== StreamLoader monitor @ t={report['time']:.0f}s ==",
+            f"== StreamLoader monitor @ t={report['time']:.0f}s =={tag}",
             "-- operations (tuples/s) --",
         ]
         for key in sorted(report["operation_rates"]):

@@ -165,6 +165,9 @@ class OperatorProcess:
             node.unregister_process(self.process_id)
         self._started = False
         self._stopped = True
+        unhost = getattr(self.netsim, "unhost_process", None)
+        if unhost is not None:
+            unhost(self)
 
     def move_to(self, node_id: str) -> None:
         """Migrate this process to another node (SCN decision applied)."""
@@ -181,6 +184,9 @@ class OperatorProcess:
         new.register_process(self.process_id, demand)
         self.node_id = node_id
         self._node = new
+        moved = getattr(self.netsim, "process_moved", None)
+        if moved is not None:
+            moved(self)
 
     # -- fault tolerance ---------------------------------------------------------
 

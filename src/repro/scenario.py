@@ -18,6 +18,11 @@ from repro.network.topology import Topology
 from repro.obs import Observability
 from repro.pubsub.broker import BrokerNetwork
 from repro.pubsub.subscription import SubscriptionFilter
+from repro.runtime.backends import (
+    AsyncBackend,
+    ExecutionBackend,
+    backend_from_name,
+)
 from repro.runtime.executor import Deployment, Executor
 from repro.sensors.base import BatchingPolicy, SimulatedSensor
 from repro.sensors.osaka import osaka_fleet
@@ -37,6 +42,9 @@ class Stack:
     sticker: StickerFeed
     fleet: list[SimulatedSensor]
     obs: "Observability | None" = None
+    #: The execution backend the stack runs on (None on stacks built
+    #: before the backend seam existed — treated as the simulator).
+    backend: "ExecutionBackend | None" = None
 
     @property
     def clock(self):
@@ -50,6 +58,17 @@ class Stack:
 
     def run_until(self, time: float) -> int:
         return self.clock.run_until(time)
+
+    def close(self) -> None:
+        """Release backend resources (asyncio tasks/loops).  Idempotent."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "Stack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def build_stack(
@@ -65,6 +84,8 @@ def build_stack(
     batching: "BatchingPolicy | int | None" = None,
     latency: bool = False,
     alert_cadence: float = 60.0,
+    backend: "str | ExecutionBackend" = "sim",
+    time_scale: "float | None" = None,
 ) -> Stack:
     """Assemble a full StreamLoader stack with the Osaka fleet.
 
@@ -89,6 +110,12 @@ def build_stack(
             (sampling 0.0 — no tracing) when none was requested.
         alert_cadence: virtual-time cadence of the executor's alert
             engine ticks (only relevant once SLO rules are deployed).
+        backend: execution backend — ``"sim"`` (deterministic
+            discrete-event, the default and oracle), ``"async"`` (real
+            asyncio tasks and bounded queues), or a pre-built
+            :class:`~repro.runtime.backends.ExecutionBackend`.
+        time_scale: async-backend pacing, in virtual seconds per wall
+            second (``None``/``0`` free-runs).  Ignored by the simulator.
     """
     if observability is True:
         obs: "Observability | None" = Observability()
@@ -100,8 +127,20 @@ def build_stack(
         if obs is None:
             obs = Observability(sampling=0.0)
         obs.ensure_latency()
-    topology = topology if topology is not None else Topology.star(leaf_count=4)
-    netsim = NetworkSimulator(topology=topology)
+    if isinstance(backend, str):
+        topology = topology if topology is not None else Topology.star(leaf_count=4)
+        if backend == "async":
+            backend_obj: ExecutionBackend = AsyncBackend(
+                topology=topology, time_scale=time_scale
+            )
+        else:
+            backend_obj = backend_from_name(backend, topology=topology)
+    else:
+        # A pre-built backend brings its own topology (the ``topology``
+        # argument would have had to be threaded into its constructor).
+        backend_obj = backend
+        topology = backend_obj.topology
+    netsim = backend_obj.transport
     broker_network = BrokerNetwork(netsim=netsim)
     warehouse = EventWarehouse()
     sticker = StickerFeed()
@@ -114,6 +153,7 @@ def build_stack(
         rebalance_interval=rebalance_interval,
         obs=obs,
         alert_cadence=alert_cadence,
+        backend=backend_obj,
     )
     fleet = osaka_fleet(topology, hot=hot, extended=extended, seed=seed,
                         replicas=replicas)
@@ -134,6 +174,7 @@ def build_stack(
         sticker=sticker,
         fleet=fleet,
         obs=obs,
+        backend=backend_obj,
     )
 
 

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.network.netsim import NetworkSimulator
 from repro.network.topology import Topology
 from repro.pubsub.broker import BrokerNetwork
+from repro.runtime.backends import live_backends
 from repro.schema.schema import StreamSchema
 from repro.streams.tuple import SensorTuple
 from repro.stt.event import SttStamp
@@ -20,6 +23,63 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite golden snapshot files instead of comparing against them",
     )
+    parser.addoption(
+        "--hard-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="kill any single test running longer than SECONDS via SIGALRM "
+             "(0: disabled).  CI runs the backend suites under this so a "
+             "deadlocked event loop fails loudly instead of hanging the job.",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(request):
+    """Per-test wall-clock budget, enforced with an interval timer.
+
+    Hand-rolled because the environment has no pytest-timeout plugin;
+    SIGALRM only fires on the main thread, which is where pytest runs
+    tests — including the asyncio backend, whose event loop blocks the
+    main thread in ``run_until_complete``.
+    """
+    limit = request.config.getoption("--hard-timeout")
+    if not limit or limit <= 0:
+        yield
+        return
+
+    def _expire(signum, frame):
+        pytest.fail(
+            f"test exceeded the --hard-timeout budget of {limit}s", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _async_backend_flake_guard():
+    """Fail any test that leaks a live AsyncBackend (tasks, event loop).
+
+    Leaked loops are the classic source of cross-test flakes: a pending
+    task from test A fires during test B.  The guard closes whatever
+    leaked (so the *next* test stays clean) and then fails the leaking
+    test by name.
+    """
+    yield
+    leaked = live_backends()
+    if leaked:
+        for backend in leaked:
+            backend.close()
+        pytest.fail(
+            f"test leaked {len(leaked)} unclosed AsyncBackend(s); "
+            f"close the stack/backend (stack.close() or `with stack:`)"
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,1 @@
+"""Cross-backend parity: the simulator is the oracle, asyncio must agree."""
